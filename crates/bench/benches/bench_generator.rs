@@ -1,0 +1,35 @@
+//! Criterion benches for the synthetic workload generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simrankpp_synth::generator::{generate, GeneratorConfig};
+use simrankpp_synth::ZipfSampler;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn generator(c: &mut Criterion) {
+    c.bench_function("generate_tiny", |b| {
+        b.iter(|| generate(&GeneratorConfig::tiny()))
+    });
+
+    let mut group = c.benchmark_group("generate_small");
+    group.sample_size(10);
+    group.bench_function("2k_queries", |b| {
+        b.iter(|| generate(&GeneratorConfig::small()))
+    });
+    group.finish();
+
+    c.bench_function("zipf_sample_1k", |b| {
+        let z = ZipfSampler::new(10_000, 1.05);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc += z.sample(&mut rng);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, generator);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the partitioning substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simrankpp_partition::{
+    approximate_ppr, extract_subgraphs, pagerank, ExtractConfig, FlatView, PagerankConfig,
+    PprConfig,
+};
+use simrankpp_synth::generator::{generate, GeneratorConfig};
+
+fn partition(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig::small());
+    let view = FlatView::new(&dataset.graph);
+
+    let mut group = c.benchmark_group("partition_small");
+    group.sample_size(20);
+    group.bench_function("pagerank", |b| {
+        b.iter(|| pagerank(&view, &PagerankConfig::default()))
+    });
+    group.bench_function("ppr_push", |b| {
+        b.iter(|| approximate_ppr(&view, 0, &PprConfig::default(), None))
+    });
+    group.bench_function("extract_5_subgraphs", |b| {
+        b.iter(|| {
+            extract_subgraphs(
+                &dataset.graph,
+                &ExtractConfig {
+                    n_subgraphs: 5,
+                    min_size: 20,
+                    max_size: 1200,
+                    ..ExtractConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, partition);
+criterion_main!(benches);

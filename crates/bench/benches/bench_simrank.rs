@@ -1,0 +1,71 @@
+//! Criterion benches for the SimRank engine family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrankpp_core::evidence::{evidence_simrank, EvidenceKind};
+use simrankpp_core::pearson::pearson_scores;
+use simrankpp_core::simrank::{simrank, simrank_dense};
+use simrankpp_core::weighted::weighted_simrank;
+use simrankpp_core::SimrankConfig;
+use simrankpp_graph::WeightKind;
+use simrankpp_synth::generator::{generate, GeneratorConfig};
+
+fn engines(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig::tiny());
+    let cfg = SimrankConfig::default().with_iterations(5);
+
+    let mut group = c.benchmark_group("engines_tiny");
+    group.bench_function("simrank_sparse", |b| {
+        b.iter(|| simrank(&dataset.graph, &cfg))
+    });
+    group.bench_function("simrank_dense", |b| {
+        b.iter(|| simrank_dense(&dataset.graph, &cfg))
+    });
+    group.bench_function("evidence", |b| {
+        b.iter(|| evidence_simrank(&dataset.graph, &cfg, EvidenceKind::Geometric))
+    });
+    group.bench_function("weighted", |b| {
+        b.iter(|| weighted_simrank(&dataset.graph, &cfg, EvidenceKind::Geometric))
+    });
+    group.bench_function("pearson", |b| {
+        b.iter(|| pearson_scores(&dataset.graph, WeightKind::ExpectedClickRate))
+    });
+    group.finish();
+}
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simrank_scaling");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let mut gen = GeneratorConfig::small();
+        gen.n_queries = n;
+        gen.n_ads = (n * 7) / 10;
+        let dataset = generate(&gen);
+        let cfg = SimrankConfig::default()
+            .with_iterations(5)
+            .with_prune_threshold(1e-4);
+        group.bench_with_input(BenchmarkId::new("sparse_pruned", n), &dataset, |b, d| {
+            b.iter(|| simrank(&d.graph, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn pruning(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig::small());
+    let mut group = c.benchmark_group("pruning_threshold");
+    group.sample_size(10);
+    for threshold in [0.0, 1e-6, 1e-4, 1e-2] {
+        let cfg = SimrankConfig::default()
+            .with_iterations(5)
+            .with_prune_threshold(threshold);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threshold:e}")),
+            &cfg,
+            |b, cfg| b.iter(|| simrank(&dataset.graph, cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines, scaling, pruning);
+criterion_main!(benches);

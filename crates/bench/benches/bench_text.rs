@@ -1,0 +1,51 @@
+//! Criterion benches for the text substrate (stemmer throughput matters:
+//! dedup runs over every candidate of every query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simrankpp_text::{normalize_query, stem, stem_signature, StemDeduper};
+
+const WORDS: &[&str] = &[
+    "cameras",
+    "running",
+    "relational",
+    "conditionally",
+    "hopefulness",
+    "digitizer",
+    "flowers",
+    "adjustment",
+    "triplicate",
+    "operational",
+];
+
+fn text(c: &mut Criterion) {
+    c.bench_function("porter_stem_10_words", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in WORDS {
+                total += stem(w).len();
+            }
+            total
+        })
+    });
+
+    c.bench_function("normalize_query", |b| {
+        b.iter(|| normalize_query("  Digital CAMERAS, best-price & reviews!  "))
+    });
+
+    c.bench_function("stem_signature", |b| {
+        b.iter(|| stem_signature("cheap digital cameras online"))
+    });
+
+    c.bench_function("dedup_100_candidates", |b| {
+        let candidates: Vec<String> = (0..100)
+            .map(|i| format!("candidate query number {} variant{}", i % 40, i % 3))
+            .collect();
+        b.iter(|| {
+            let mut d = StemDeduper::new();
+            candidates.iter().filter(|c| d.admit(c)).count()
+        })
+    });
+}
+
+criterion_group!(benches, text);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 11: the rewriting-depth distribution.
+
+use simrankpp_eval::report::render_fig11;
+use simrankpp_eval::run_experiment;
+
+fn main() {
+    let scale = simrankpp_bench::scale();
+    simrankpp_bench::banner("fig11_depth", "Figure 11 (§10.3)");
+    let report = run_experiment(&simrankpp_bench::experiment_config(&scale));
+    println!("{}", render_fig11(&report));
+    println!(
+        "Paper: the enhanced schemes provide the full 5 rewrites for >85% of queries\n\
+         (Simrank 79%, evidence-based 89%); Pearson's depth is far lower."
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 12: the edge-removal desirability-prediction
+//! experiment.
+
+use simrankpp_eval::report::render_fig12;
+use simrankpp_eval::run_experiment;
+
+fn main() {
+    let scale = simrankpp_bench::scale();
+    simrankpp_bench::banner("fig12_desirability", "Figure 12 (§10.4)");
+    let report = run_experiment(&simrankpp_bench::experiment_config(&scale));
+    println!("{}", render_fig12(&report));
+    println!(
+        "Paper: Simrank 54% (27/50), evidence-based 54% (identical — no weights used),\n\
+         weighted 92% (46/50). Shape to check: weighted well above the structural\n\
+         methods; Simrank and evidence-based identical (evidence is zero for every\n\
+         trial pair once direct edges are removed, so the raw scores decide both)."
+    );
+}

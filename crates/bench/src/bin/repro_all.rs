@@ -1,0 +1,76 @@
+//! Runs the complete reproduction: Tables 1–5 and Figures 8–12 in one pass
+//! (the experiment is computed once and every read-out printed), and writes
+//! the machine-readable report to `repro_report.json`.
+
+use simrankpp_core::complete_bipartite::{km2_evidence_pair_iterates, km2_pair_iterates};
+use simrankpp_core::evidence::EvidenceKind;
+use simrankpp_core::naive::naive_scores;
+use simrankpp_core::simrank::simrank;
+use simrankpp_core::SimrankConfig;
+use simrankpp_eval::report::render_full;
+use simrankpp_eval::run_experiment;
+use simrankpp_graph::fixtures::{figure3_graph, FIGURE3_QUERIES};
+use simrankpp_graph::WeightKind;
+
+fn main() {
+    let scale = simrankpp_bench::scale();
+    simrankpp_bench::banner("repro_all", "Tables 1-5, Figures 8-12");
+
+    // --- Paper-exact small tables (scale independent) ----------------------
+    let g3 = figure3_graph();
+    println!("--- Table 1: naive common-ad counts (Figure 3 graph) ---");
+    let naive = naive_scores(&g3);
+    matrix(|a, b| format!("{:.0}", naive.get(a, b)));
+
+    println!("\n--- Table 2: converged SimRank, C1=C2=0.8 ---");
+    let t2cfg = SimrankConfig::paper()
+        .with_iterations(100)
+        .with_weight_kind(WeightKind::Clicks);
+    let sr = simrank(&g3, &t2cfg);
+    matrix(|a, b| format!("{:.3}", sr.queries.get(a, b)));
+
+    println!("\n--- Table 3: SimRank iterations on K2,2 vs K1,2 ---");
+    let k22 = km2_pair_iterates(2, 0.8, 0.8, 7);
+    let k12 = km2_pair_iterates(1, 0.8, 0.8, 7);
+    println!("{:<6} {:>26} {:>18}", "iter", "sim(camera,digital camera)", "sim(pc,camera)");
+    for k in 0..7 {
+        println!("{:<6} {:>26.7} {:>18.7}", k + 1, k22[k], k12[k]);
+    }
+
+    println!("\n--- Table 4: evidence-based iterations ---");
+    let e22 = km2_evidence_pair_iterates(2, 0.8, 0.8, 7, EvidenceKind::Geometric);
+    let e12 = km2_evidence_pair_iterates(1, 0.8, 0.8, 7, EvidenceKind::Geometric);
+    println!("{:<6} {:>26} {:>18}", "iter", "sim(camera,digital camera)", "sim(pc,camera)");
+    for k in 0..7 {
+        println!("{:<6} {:>26.7} {:>18.7}", k + 1, e22[k], e12[k]);
+    }
+
+    // --- The full §9/§10 evaluation -----------------------------------------
+    println!("\n--- Table 5 + Figures 8-12: full evaluation at scale '{scale}' ---\n");
+    let config = simrankpp_bench::experiment_config(&scale);
+    let report = run_experiment(&config);
+    println!("{}", render_full(&report));
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("repro_report.json", &json).expect("write repro_report.json");
+    println!("\nMachine-readable report written to repro_report.json");
+}
+
+fn matrix(cell: impl Fn(u32, u32) -> String) {
+    print!("{:<16}", "");
+    for q in FIGURE3_QUERIES {
+        print!("{q:>16}");
+    }
+    println!();
+    for (i, a) in FIGURE3_QUERIES.iter().enumerate() {
+        print!("{a:<16}");
+        for (j, _) in FIGURE3_QUERIES.iter().enumerate() {
+            if i == j {
+                print!("{:>16}", "-");
+            } else {
+                print!("{:>16}", cell(i as u32, j as u32));
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 1: naive common-ad similarity on the Figure 3 graph.
+
+use simrankpp_core::naive::naive_scores;
+use simrankpp_graph::fixtures::{figure3_graph, FIGURE3_QUERIES};
+
+fn main() {
+    simrankpp_bench::banner("table1_naive", "Table 1 (§3)");
+    let g = figure3_graph();
+    let m = naive_scores(&g);
+    print!("{:<16}", "");
+    for q in FIGURE3_QUERIES {
+        print!("{q:>16}");
+    }
+    println!();
+    for (i, a) in FIGURE3_QUERIES.iter().enumerate() {
+        print!("{a:<16}");
+        for (j, _) in FIGURE3_QUERIES.iter().enumerate() {
+            if i == j {
+                print!("{:>16}", "-");
+            } else {
+                print!("{:>16.0}", m.get(i as u32, j as u32));
+            }
+        }
+        println!();
+    }
+    println!("\nPaper values: pc-camera 1, camera-digital 2, camera-tv 1, all flower pairs 0.");
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 2: converged SimRank on the Figure 3 graph
+//! (C1 = C2 = 0.8).
+
+use simrankpp_core::simrank::simrank;
+use simrankpp_core::SimrankConfig;
+use simrankpp_graph::fixtures::{figure3_graph, FIGURE3_QUERIES};
+use simrankpp_graph::WeightKind;
+
+fn main() {
+    simrankpp_bench::banner("table2_simrank", "Table 2 (§4)");
+    let g = figure3_graph();
+    let cfg = SimrankConfig::paper()
+        .with_iterations(100)
+        .with_weight_kind(WeightKind::Clicks);
+    let r = simrank(&g, &cfg);
+    print!("{:<16}", "");
+    for q in FIGURE3_QUERIES {
+        print!("{q:>16}");
+    }
+    println!();
+    for (i, a) in FIGURE3_QUERIES.iter().enumerate() {
+        print!("{a:<16}");
+        for (j, _) in FIGURE3_QUERIES.iter().enumerate() {
+            if i == j {
+                print!("{:>16}", "-");
+            } else {
+                print!("{:>16.3}", r.queries.get(i as u32, j as u32));
+            }
+        }
+        println!();
+    }
+    println!("\nPaper values: 0.619 for connected non-tv-pc pairs, 0.437 for pc-tv, 0 for flower.");
+}

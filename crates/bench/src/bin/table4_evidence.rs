@@ -1,0 +1,30 @@
+//! Regenerates Table 4: per-iteration evidence-based SimRank on the
+//! Figure 4 graphs (C1 = C2 = 0.8, geometric evidence).
+
+use simrankpp_core::evidence::{evidence_simrank, EvidenceKind};
+use simrankpp_core::SimrankConfig;
+use simrankpp_graph::fixtures::{figure4_k12, figure4_k22};
+
+fn main() {
+    simrankpp_bench::banner("table4_evidence", "Table 4 (§7)");
+    let k22 = figure4_k22();
+    let k12 = figure4_k12();
+    println!(
+        "{:<10} {:>28} {:>22}",
+        "Iteration", "sim(camera, digital camera)", "sim(pc, camera)"
+    );
+    for k in 1..=7 {
+        let cfg = SimrankConfig::paper().with_iterations(k);
+        let e22 = evidence_simrank(&k22, &cfg, EvidenceKind::Geometric)
+            .queries
+            .get(0, 1);
+        let e12 = evidence_simrank(&k12, &cfg, EvidenceKind::Geometric)
+            .queries
+            .get(0, 1);
+        println!("{k:<10} {e22:>28.7} {e12:>22.7}");
+    }
+    println!(
+        "\nPaper: the K2,2 pair overtakes from iteration 2 (0.42 > 0.4) — the fix \
+         evidence was designed for."
+    );
+}

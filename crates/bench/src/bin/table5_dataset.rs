@@ -1,0 +1,18 @@
+//! Regenerates Table 5: the five-subgraphs dataset statistics
+//! (generate → ACL extraction → per-subgraph counts).
+
+use simrankpp_eval::report::render_table5;
+use simrankpp_eval::run_experiment;
+
+fn main() {
+    let scale = simrankpp_bench::scale();
+    simrankpp_bench::banner("table5_dataset", "Table 5 (§9.2)");
+    let config = simrankpp_bench::experiment_config(&scale);
+    let report = run_experiment(&config);
+    println!("{}", render_table5(&report));
+    println!(
+        "Paper (full Yahoo! scale): subgraphs of 585k/531k/322k/314k/91k queries, \
+         1.84M queries total.\nShape to check: a handful of disjoint subgraphs with \
+         decreasing sizes whose rows sum to the Total row."
+    );
+}

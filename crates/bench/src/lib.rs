@@ -1,0 +1,84 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary honors the `SIMRANKPP_SCALE` environment variable:
+//!
+//! * `tiny` — seconds; smoke-testing the harness;
+//! * `small` (default) — tens of seconds; the example scale (~2k queries);
+//! * `paper` — minutes; the bench scale (~50k queries, the Table 5 shape
+//!   scaled to a laptop).
+//!
+//! Scale changes only the dataset size — seeds, method parameters and the
+//! evaluation pipeline stay fixed, so results are deterministic per scale.
+
+use simrankpp_core::{RewriterConfig, SimrankConfig};
+use simrankpp_eval::ExperimentConfig;
+use simrankpp_partition::ExtractConfig;
+use simrankpp_synth::GeneratorConfig;
+
+/// The scale selected via `SIMRANKPP_SCALE` (default `small`).
+pub fn scale() -> String {
+    std::env::var("SIMRANKPP_SCALE").unwrap_or_else(|_| "small".to_owned())
+}
+
+/// The generator configuration for a scale name.
+pub fn generator_config(scale: &str) -> GeneratorConfig {
+    match scale {
+        "tiny" => GeneratorConfig::tiny(),
+        "paper" => GeneratorConfig::paper_scale(),
+        _ => GeneratorConfig::small(),
+    }
+}
+
+/// The full experiment configuration for a scale name.
+pub fn experiment_config(scale: &str) -> ExperimentConfig {
+    let generator = generator_config(scale);
+    let (n_subgraphs, min_size, max_size, sample, trials, prune) = match scale {
+        "tiny" => (2, 6, 60, 30, 8, 0.0),
+        "paper" => (5, 200, 30_000, 1200, 50, 1e-4),
+        _ => (5, 20, 1200, 1200, 50, 0.0),
+    };
+    ExperimentConfig {
+        generator,
+        extract: ExtractConfig {
+            n_subgraphs,
+            min_size,
+            max_size,
+            ..ExtractConfig::default()
+        },
+        simrank: SimrankConfig::default()
+            .with_iterations(7)
+            .with_prune_threshold(prune)
+            .with_threads(if scale == "paper" { 0 } else { 1 }),
+        rewriter: RewriterConfig::default(),
+        eval_sample_size: sample,
+        desirability_trials: trials,
+        seed: 0x5EED,
+    }
+}
+
+/// Prints the standard banner for a regeneration binary.
+pub fn banner(target: &str, paper_ref: &str) {
+    println!("=== {target} — reproduces {paper_ref} ===");
+    println!("scale: {} (set SIMRANKPP_SCALE=tiny|small|paper)\n", scale());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_resolve() {
+        assert_eq!(generator_config("tiny").n_queries, 60);
+        assert_eq!(generator_config("paper").n_queries, 50_000);
+        assert_eq!(generator_config("anything").n_queries, 2_000);
+    }
+
+    #[test]
+    fn experiment_configs_are_consistent() {
+        for s in ["tiny", "small", "paper"] {
+            let c = experiment_config(s);
+            assert!(c.extract.n_subgraphs >= 2);
+            assert!(c.simrank.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared configuration for the SimRank family of engines.
+
+use serde::{Deserialize, Serialize};
+use simrankpp_graph::WeightKind;
+
+/// Parameters shared by all SimRank variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimrankConfig {
+    /// Query-side decay factor `C1 ∈ (0, 1]` (Eq. 4.1).
+    pub c1: f64,
+    /// Ad-side decay factor `C2 ∈ (0, 1]` (Eq. 4.2).
+    pub c2: f64,
+    /// Number of Jacobi iterations `k`. The paper's experiments use a small
+    /// fixed number; 7 reproduces Tables 3–4 and is close to converged on
+    /// click-graph-like structures.
+    pub iterations: usize,
+    /// Sparse engines drop pair scores below this threshold after each
+    /// iteration. `0.0` disables pruning.
+    pub prune_threshold: f64,
+    /// Which §2 edge weight weighted SimRank and Pearson consume.
+    pub weight_kind: WeightKind,
+    /// Worker threads for the sparse engines. `1` = serial (deterministic
+    /// to the last bit), `0` = use all available cores.
+    pub threads: usize,
+}
+
+impl Default for SimrankConfig {
+    fn default() -> Self {
+        SimrankConfig {
+            c1: 0.8,
+            c2: 0.8,
+            iterations: 7,
+            prune_threshold: 0.0,
+            weight_kind: WeightKind::ExpectedClickRate,
+            threads: 1,
+        }
+    }
+}
+
+impl SimrankConfig {
+    /// The paper's running configuration: `C1 = C2 = 0.8` (Tables 2–4).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: set both decay factors.
+    pub fn with_decay(mut self, c1: f64, c2: f64) -> Self {
+        self.c1 = c1;
+        self.c2 = c2;
+        self
+    }
+
+    /// Builder-style: set the iteration count.
+    pub fn with_iterations(mut self, k: usize) -> Self {
+        self.iterations = k;
+        self
+    }
+
+    /// Builder-style: set the pruning threshold.
+    pub fn with_prune_threshold(mut self, t: f64) -> Self {
+        self.prune_threshold = t;
+        self
+    }
+
+    /// Builder-style: set the edge-weight kind.
+    pub fn with_weight_kind(mut self, kind: WeightKind) -> Self {
+        self.weight_kind = kind;
+        self
+    }
+
+    /// Builder-style: set the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.c1) || !(0.0..=1.0).contains(&self.c2) {
+            return Err(format!(
+                "decay factors must lie in [0, 1]; got C1={}, C2={}",
+                self.c1, self.c2
+            ));
+        }
+        if !self.prune_threshold.is_finite() || self.prune_threshold < 0.0 {
+            return Err("prune threshold must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// The number of worker threads to actually spawn.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimrankConfig::default();
+        assert_eq!(c.c1, 0.8);
+        assert_eq!(c.c2, 0.8);
+        assert_eq!(c.iterations, 7);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SimrankConfig::default()
+            .with_decay(0.6, 0.7)
+            .with_iterations(10)
+            .with_prune_threshold(1e-4)
+            .with_threads(4);
+        assert_eq!(c.c1, 0.6);
+        assert_eq!(c.c2, 0.7);
+        assert_eq!(c.iterations, 10);
+        assert_eq!(c.prune_threshold, 1e-4);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_decay() {
+        assert!(SimrankConfig::default().with_decay(1.5, 0.8).validate().is_err());
+        assert!(SimrankConfig::default().with_decay(-0.1, 0.8).validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_threshold() {
+        let c = SimrankConfig {
+            prune_threshold: f64::NAN,
+            ..SimrankConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(SimrankConfig::default().with_threads(0).effective_threads() >= 1);
+        assert_eq!(SimrankConfig::default().with_threads(3).effective_threads(), 3);
+    }
+}

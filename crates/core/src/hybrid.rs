@@ -1,0 +1,112 @@
+//! Hybrid text + click-graph similarity (§11 future work).
+//!
+//! The conclusions suggest "methods for combining our similarity scores with
+//! semantic text-based similarities". This extension blends a click-graph
+//! score matrix with the Jaccard similarity of the queries' stemmed token
+//! sets:
+//!
+//! ```text
+//! hybrid(q,q') = λ · click(q,q') + (1 − λ) · jaccard(stems(q), stems(q'))
+//! ```
+//!
+//! Only pairs already present in the click matrix are re-scored (the blend
+//! re-ranks graph-discovered candidates; it does not invent candidates from
+//! text alone — that would be a retrieval problem, not a ranking one).
+
+use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
+use simrankpp_graph::ClickGraph;
+use simrankpp_text::{normalize_query, tokenize, stem};
+use simrankpp_util::FxHashSet;
+
+/// Jaccard similarity of two queries' stemmed token sets.
+pub fn text_similarity(a: &str, b: &str) -> f64 {
+    let set = |s: &str| -> FxHashSet<String> {
+        tokenize(&normalize_query(s))
+            .into_iter()
+            .map(stem)
+            .collect()
+    };
+    let sa = set(a);
+    let sb = set(b);
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Blends click scores with text similarity: `λ·click + (1−λ)·text`.
+///
+/// # Panics
+/// Panics if `lambda ∉ [0,1]` or the graph has no query names.
+pub fn hybrid_scores(g: &ClickGraph, click: &ScoreMatrix, lambda: f64) -> ScoreMatrix {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+    assert!(
+        g.query_interner().is_some(),
+        "hybrid scoring needs query display names"
+    );
+    let mut b = ScoreMatrixBuilder::new(click.n_nodes());
+    for (qa, qb, v) in click.iter() {
+        let na = g.query_name(simrankpp_graph::QueryId(qa)).unwrap_or("");
+        let nb = g.query_name(simrankpp_graph::QueryId(qb)).unwrap_or("");
+        let blended = lambda * v + (1.0 - lambda) * text_similarity(na, nb);
+        if blended > 0.0 {
+            b.set(qa, qb, blended);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimrankConfig;
+    use crate::simrank::simrank;
+    use simrankpp_graph::fixtures::figure3_graph;
+
+    #[test]
+    fn text_similarity_basics() {
+        assert_eq!(text_similarity("camera", "camera"), 1.0);
+        assert_eq!(text_similarity("camera", "cameras"), 1.0); // stem collapse
+        assert_eq!(text_similarity("pc", "tv"), 0.0);
+        let v = text_similarity("digital camera", "camera");
+        assert!((v - 0.5).abs() < 1e-12); // {digit, camera} ∩ {camera}
+    }
+
+    #[test]
+    fn empty_query_is_zero() {
+        assert_eq!(text_similarity("", "camera"), 0.0);
+        assert_eq!(text_similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn lambda_one_reduces_to_click() {
+        let g = figure3_graph();
+        let click = simrank(&g, &SimrankConfig::default()).queries;
+        let hybrid = hybrid_scores(&g, &click, 1.0);
+        assert!(click.max_abs_diff(&hybrid) < 1e-12);
+    }
+
+    #[test]
+    fn text_component_boosts_lexically_related_pairs() {
+        let g = figure3_graph();
+        let click = simrank(&g, &SimrankConfig::default()).queries;
+        let q = |n: &str| g.query_by_name(n).unwrap().0;
+        // Plain SimRank ties camera–digital-camera with camera–tv (§6's
+        // complaint); the text blend breaks the tie the right way.
+        let h = hybrid_scores(&g, &click, 0.5);
+        assert!(
+            h.get(q("camera"), q("digital camera")) > h.get(q("camera"), q("tv")),
+            "text blend must favor the lexically-overlapping pair"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn bad_lambda_panics() {
+        let g = figure3_graph();
+        let click = simrank(&g, &SimrankConfig::default()).queries;
+        hybrid_scores(&g, &click, 1.5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simrank++ core: the paper's primary contribution.
+//!
+//! This crate implements every similarity scheme the paper studies:
+//!
+//! * [`naive`] — §3's common-ad count (Table 1);
+//! * [`mod@simrank`] — §4's bipartite SimRank (Eq. 4.1/4.2), with dense and
+//!   sparse-pruned engines and optional crossbeam parallelism;
+//! * [`evidence`] — §7's evidence-based SimRank (Eq. 7.3–7.6);
+//! * [`weighted`] — §8's weighted SimRank (spread × normalized-weight walk);
+//! * [`pearson`] — §9.1's Pearson-correlation baseline;
+//! * [`desirability`] — §9.3's desirability score for the edge-removal
+//!   experiment;
+//! * [`complete_bipartite`] — closed forms on `K_{m,2}` (Theorems 6.1–7.1,
+//!   Appendices A–B), used for paper-exactness tests and Tables 3–4;
+//! * [`montecarlo`] — §11-adjacent extension: Monte-Carlo single-pair
+//!   estimation of the SimRank random-surfer model;
+//! * [`hybrid`] — §11 future-work extension: combining click-graph similarity
+//!   with text similarity;
+//! * [`rewriter`] — the Figure 2 front-end: score → rank → stem-dedup →
+//!   bid-filter → top-5 rewrites.
+//!
+//! The similarity conventions follow the paper exactly: `s(x,x) = 1`,
+//! simultaneous (Jacobi) iteration from `s⁰ = I`, and decay factors
+//! `C1` (query side) and `C2` (ad side). All iterated tables of the paper
+//! (Tables 2–4) are reproduced digit-for-digit by the test suite.
+
+pub mod complete_bipartite;
+pub mod config;
+pub mod desirability;
+pub mod evidence;
+pub mod hybrid;
+pub mod method;
+pub mod montecarlo;
+pub mod naive;
+pub mod pearson;
+pub mod rewriter;
+pub mod scores;
+pub mod simrank;
+pub mod weighted;
+
+pub use config::SimrankConfig;
+pub use evidence::{evidence_exponential, evidence_geometric, EvidenceKind};
+pub use method::{Method, MethodKind};
+pub use rewriter::{Rewrite, Rewriter, RewriterConfig};
+pub use scores::{ScoreMatrix, ScoreMatrixBuilder};
+pub use simrank::{simrank, SimrankResult};
+pub use weighted::{weighted_simrank, WeightedSimrankResult};

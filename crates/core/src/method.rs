@@ -1,0 +1,284 @@
+//! A uniform interface over the paper's four query-rewriting methods.
+//!
+//! §9 compares Pearson (baseline), SimRank, evidence-based SimRank, and
+//! weighted SimRank. [`Method`] computes any of them over a click graph and
+//! answers the two questions the evaluation pipeline asks: the score of a
+//! specific pair, and the ranked rewrite candidates of a query.
+//!
+//! Ranking is by `(final score desc, raw walk score desc, id asc)`. The raw
+//! walk score only matters when final scores tie — in particular when the
+//! evidence factor zeroes both candidates (no common ad), where the paper's
+//! Figure 12 behaviour shows the underlying SimRank ordering taking over
+//! (evidence-based predicts exactly as plain SimRank there).
+
+use crate::config::SimrankConfig;
+use crate::evidence::{evidence_simrank, EvidenceKind};
+use crate::naive::naive_scores;
+use crate::pearson::pearson_scores;
+use crate::scores::ScoreMatrix;
+use crate::simrank::simrank;
+use crate::weighted::weighted_simrank;
+use serde::{Deserialize, Serialize};
+use simrankpp_graph::{ClickGraph, QueryId};
+
+/// The similarity schemes compared in the paper's evaluation (§9) plus the
+/// §3 naive counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// §3: common-ad count.
+    Naive,
+    /// §9.1: Pearson correlation over common ads.
+    Pearson,
+    /// §4: plain bipartite SimRank.
+    Simrank,
+    /// §7: evidence-based SimRank.
+    EvidenceSimrank,
+    /// §8: weighted SimRank (evidence + weight-consistent walk).
+    WeightedSimrank,
+}
+
+impl MethodKind {
+    /// The four methods of the paper's evaluation, in the order its figures
+    /// list them.
+    pub const EVALUATED: [MethodKind; 4] = [
+        MethodKind::Pearson,
+        MethodKind::Simrank,
+        MethodKind::EvidenceSimrank,
+        MethodKind::WeightedSimrank,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::Naive => "naive common-ads",
+            MethodKind::Pearson => "Pearson",
+            MethodKind::Simrank => "Simrank",
+            MethodKind::EvidenceSimrank => "evidence-based Simrank",
+            MethodKind::WeightedSimrank => "weighted Simrank",
+        }
+    }
+}
+
+/// A computed similarity method over one click graph: final (ranking) scores
+/// plus optional raw tie-break scores.
+#[derive(Debug, Clone)]
+pub struct Method {
+    kind: MethodKind,
+    scores: ScoreMatrix,
+    raw: Option<ScoreMatrix>,
+}
+
+impl Method {
+    /// Computes `kind` over `g`. `config` controls decay factors, iteration
+    /// count, pruning, the edge-weight kind (weighted SimRank and Pearson),
+    /// and threading.
+    pub fn compute(kind: MethodKind, g: &ClickGraph, config: &SimrankConfig) -> Method {
+        Self::compute_with_evidence(kind, g, config, EvidenceKind::Geometric)
+    }
+
+    /// As [`Method::compute`] with an explicit evidence formula (the
+    /// `ablation_evidence_fn` bench sweeps this).
+    pub fn compute_with_evidence(
+        kind: MethodKind,
+        g: &ClickGraph,
+        config: &SimrankConfig,
+        evidence: EvidenceKind,
+    ) -> Method {
+        match kind {
+            MethodKind::Naive => Method {
+                kind,
+                scores: naive_scores(g),
+                raw: None,
+            },
+            MethodKind::Pearson => Method {
+                kind,
+                scores: pearson_scores(g, config.weight_kind),
+                raw: None,
+            },
+            MethodKind::Simrank => Method {
+                kind,
+                scores: simrank(g, config).queries,
+                raw: None,
+            },
+            MethodKind::EvidenceSimrank => {
+                let r = evidence_simrank(g, config, evidence);
+                Method {
+                    kind,
+                    scores: r.queries,
+                    raw: Some(r.raw.queries),
+                }
+            }
+            MethodKind::WeightedSimrank => {
+                let r = weighted_simrank(g, config, evidence);
+                Method {
+                    kind,
+                    scores: r.queries,
+                    raw: Some(r.raw_queries),
+                }
+            }
+        }
+    }
+
+    /// Wraps precomputed matrices (used by the evaluation harness when the
+    /// same underlying computation serves several read-outs).
+    pub fn from_scores(kind: MethodKind, scores: ScoreMatrix, raw: Option<ScoreMatrix>) -> Method {
+        Method { kind, scores, raw }
+    }
+
+    /// Which method this is.
+    pub fn kind(&self) -> MethodKind {
+        self.kind
+    }
+
+    /// The final (ranking) score matrix.
+    pub fn scores(&self) -> &ScoreMatrix {
+        &self.scores
+    }
+
+    /// The raw tie-break matrix, when the method has one.
+    pub fn raw_scores(&self) -> Option<&ScoreMatrix> {
+        self.raw.as_ref()
+    }
+
+    /// Final similarity of a query pair.
+    pub fn score(&self, q1: QueryId, q2: QueryId) -> f64 {
+        self.scores.get(q1.0, q2.0)
+    }
+
+    /// `(final, raw)` similarity of a pair; raw falls back to final.
+    pub fn score_with_tiebreak(&self, q1: QueryId, q2: QueryId) -> (f64, f64) {
+        let f = self.scores.get(q1.0, q2.0);
+        let r = self
+            .raw
+            .as_ref()
+            .map(|m| m.get(q1.0, q2.0))
+            .unwrap_or(f);
+        (f, r)
+    }
+
+    /// Ranks candidate rewrites for `q`: all queries with positive final or
+    /// raw score, ordered by `(final desc, raw desc, id asc)`, truncated to
+    /// `limit`.
+    pub fn ranked_candidates(&self, q: QueryId, limit: usize) -> Vec<(QueryId, f64)> {
+        let mut candidates: Vec<(u32, f64, f64)> = Vec::new();
+        for &(other, score) in self.scores.partners(q.0) {
+            let raw = self
+                .raw
+                .as_ref()
+                .map(|m| m.get(q.0, other))
+                .unwrap_or(score);
+            candidates.push((other, score, raw));
+        }
+        // Pairs visible only through the raw matrix (evidence zeroed them).
+        if let Some(raw) = &self.raw {
+            for &(other, r) in raw.partners(q.0) {
+                if self.scores.get(q.0, other) == 0.0 {
+                    candidates.push((other, 0.0, r));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        candidates
+            .into_iter()
+            .take(limit)
+            .map(|(id, score, _raw)| (QueryId(id), score))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::fixtures::figure3_graph;
+
+    fn cfg() -> SimrankConfig {
+        SimrankConfig::default()
+            .with_iterations(7)
+            .with_weight_kind(simrankpp_graph::WeightKind::Clicks)
+    }
+
+    #[test]
+    fn all_methods_compute_on_figure3() {
+        let g = figure3_graph();
+        for kind in MethodKind::EVALUATED {
+            let m = Method::compute(kind, &g, &cfg());
+            assert_eq!(m.kind(), kind);
+            // Symmetry of the uniform interface.
+            let a = g.query_by_name("camera").unwrap();
+            let b = g.query_by_name("digital camera").unwrap();
+            assert_eq!(m.score(a, b), m.score(b, a));
+        }
+    }
+
+    #[test]
+    fn simrank_covers_tv_pc_but_pearson_does_not() {
+        // The paper's core coverage argument (§10.1).
+        let g = figure3_graph();
+        let pc = g.query_by_name("pc").unwrap();
+        let tv = g.query_by_name("tv").unwrap();
+        let sr = Method::compute(MethodKind::Simrank, &g, &cfg());
+        let pe = Method::compute(MethodKind::Pearson, &g, &cfg());
+        assert!(sr.score(pc, tv) > 0.0);
+        assert_eq!(pe.score(pc, tv), 0.0);
+    }
+
+    #[test]
+    fn evidence_ties_break_by_raw_simrank() {
+        let g = figure3_graph();
+        let m = Method::compute(MethodKind::EvidenceSimrank, &g, &cfg());
+        let pc = g.query_by_name("pc").unwrap();
+        let tv = g.query_by_name("tv").unwrap();
+        // Evidence zeroes pc–tv but the candidate list still surfaces it
+        // through the raw score.
+        let (final_score, raw) = m.score_with_tiebreak(pc, tv);
+        assert_eq!(final_score, 0.0);
+        assert!(raw > 0.0);
+        let candidates = m.ranked_candidates(pc, 10);
+        assert!(
+            candidates.iter().any(|&(q, _)| q == tv),
+            "tv must appear via raw tie-break"
+        );
+    }
+
+    #[test]
+    fn ranked_candidates_ordering() {
+        let g = figure3_graph();
+        let m = Method::compute(MethodKind::EvidenceSimrank, &g, &cfg());
+        let camera = g.query_by_name("camera").unwrap();
+        let ranked = m.ranked_candidates(camera, 10);
+        // digital camera (2 common ads) must outrank pc/tv (1 common ad each).
+        let dc = g.query_by_name("digital camera").unwrap();
+        assert_eq!(ranked[0].0, dc);
+        // Scores descending.
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-15);
+        }
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let g = figure3_graph();
+        let m = Method::compute(MethodKind::Simrank, &g, &cfg());
+        let camera = g.query_by_name("camera").unwrap();
+        assert!(m.ranked_candidates(camera, 1).len() <= 1);
+    }
+
+    #[test]
+    fn flower_has_no_candidates() {
+        let g = figure3_graph();
+        let flower = g.query_by_name("flower").unwrap();
+        for kind in MethodKind::EVALUATED {
+            let m = Method::compute(kind, &g, &cfg());
+            assert!(
+                m.ranked_candidates(flower, 10).is_empty(),
+                "{} gave flower a rewrite",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The Pearson-correlation baseline (§9.1).
+//!
+//! ```text
+//!                    Σ_{α∈E(q)∩E(q')} (w(q,α) − w̄_q)(w(q',α) − w̄_q')
+//! sim_pearson(q,q') = ───────────────────────────────────────────────
+//!                     √Σ_α (w(q,α) − w̄_q)² · √Σ_α (w(q',α) − w̄_q')²
+//! ```
+//!
+//! where `w̄_q` is the mean weight over *all* of `q`'s edges and the sums run
+//! over the **common** ads. Zero when `E(q) ∩ E(q') = ∅` or either variance
+//! term vanishes. (The paper prints the denominator with both squared terms
+//! under one square root and a dropped parenthesis; we use the standard
+//! Pearson form, which is the only reading that keeps scores in [−1, 1].)
+
+use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
+use simrankpp_graph::{AdId, ClickGraph, QueryId, WeightKind};
+use simrankpp_util::FxHashSet;
+
+/// Pearson correlation between two queries over their common ads.
+pub fn pearson_similarity(g: &ClickGraph, q1: QueryId, q2: QueryId, kind: WeightKind) -> f64 {
+    let n1 = g.query_degree(q1);
+    let n2 = g.query_degree(q2);
+    if n1 == 0 || n2 == 0 {
+        return 0.0;
+    }
+    let mean1 = g.query_weight_sum(q1, kind) / n1 as f64;
+    let mean2 = g.query_weight_sum(q2, kind) / n2 as f64;
+
+    let mut num = 0.0;
+    let mut den1 = 0.0;
+    let mut den2 = 0.0;
+    let mut any = false;
+    for (_, e1, e2) in g.common_ads_iter(q1, q2) {
+        any = true;
+        let d1 = e1.weight(kind) - mean1;
+        let d2 = e2.weight(kind) - mean2;
+        num += d1 * d2;
+        den1 += d1 * d1;
+        den2 += d2 * d2;
+    }
+    if !any || den1 <= 0.0 || den2 <= 0.0 {
+        return 0.0;
+    }
+    num / (den1.sqrt() * den2.sqrt())
+}
+
+/// All-pairs Pearson scores for pairs sharing at least one ad. Only positive
+/// correlations are retained (negative correlation is not a rewrite signal).
+pub fn pearson_scores(g: &ClickGraph, kind: WeightKind) -> ScoreMatrix {
+    let mut b = ScoreMatrixBuilder::new(g.n_queries());
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    for ai in 0..g.n_ads() {
+        let (qs, _) = g.queries_of(AdId(ai as u32));
+        for (x, &qa) in qs.iter().enumerate() {
+            for &qb in &qs[x + 1..] {
+                let key = simrankpp_util::PairKey::new(qa.0, qb.0).raw();
+                if seen.insert(key) {
+                    let v = pearson_similarity(g, qa, qb, kind);
+                    if v > 0.0 {
+                        b.set(qa.0, qb.0, v);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+
+    fn graph_with_weights(rows: &[(&str, &str, u64)]) -> ClickGraph {
+        let mut b = ClickGraphBuilder::new();
+        for &(q, a, w) in rows {
+            b.add_named(q, a, EdgeData::from_clicks(w));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfectly_correlated_pair() {
+        // Two queries with proportional weight profiles over 3 common ads
+        // (and equal means) → correlation 1.
+        let g = graph_with_weights(&[
+            ("q1", "a1", 1),
+            ("q1", "a2", 2),
+            ("q1", "a3", 3),
+            ("q2", "a1", 2),
+            ("q2", "a2", 4),
+            ("q2", "a3", 6),
+        ]);
+        let q1 = g.query_by_name("q1").unwrap();
+        let q2 = g.query_by_name("q2").unwrap();
+        let v = pearson_similarity(&g, q1, q2, WeightKind::Clicks);
+        assert!((v - 1.0).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn anti_correlated_pair() {
+        let g = graph_with_weights(&[
+            ("q1", "a1", 1),
+            ("q1", "a2", 3),
+            ("q2", "a1", 3),
+            ("q2", "a2", 1),
+        ]);
+        let q1 = g.query_by_name("q1").unwrap();
+        let q2 = g.query_by_name("q2").unwrap();
+        let v = pearson_similarity(&g, q1, q2, WeightKind::Clicks);
+        assert!((v + 1.0).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn no_common_ads_is_zero() {
+        let g = graph_with_weights(&[("q1", "a1", 1), ("q2", "a2", 1)]);
+        let q1 = g.query_by_name("q1").unwrap();
+        let q2 = g.query_by_name("q2").unwrap();
+        assert_eq!(pearson_similarity(&g, q1, q2, WeightKind::Clicks), 0.0);
+    }
+
+    #[test]
+    fn constant_profile_is_zero() {
+        // A query with all-equal weights has zero deviation on common ads
+        // when its mean equals those weights → undefined Pearson → 0.
+        let g = graph_with_weights(&[
+            ("q1", "a1", 2),
+            ("q1", "a2", 2),
+            ("q2", "a1", 1),
+            ("q2", "a2", 3),
+        ]);
+        let q1 = g.query_by_name("q1").unwrap();
+        let q2 = g.query_by_name("q2").unwrap();
+        assert_eq!(pearson_similarity(&g, q1, q2, WeightKind::Clicks), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        // Random-ish weights: correlation must stay in [-1, 1].
+        let g = graph_with_weights(&[
+            ("q1", "a1", 5),
+            ("q1", "a2", 1),
+            ("q1", "a3", 9),
+            ("q2", "a1", 2),
+            ("q2", "a2", 8),
+            ("q2", "a3", 4),
+            ("q3", "a2", 7),
+            ("q3", "a3", 2),
+        ]);
+        for a in g.queries() {
+            for b in g.queries() {
+                let v = pearson_similarity(&g, a, b, WeightKind::Clicks);
+                assert!((-1.0..=1.0).contains(&v), "sim({a},{b}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_keeps_only_positive() {
+        let g = graph_with_weights(&[
+            ("q1", "a1", 1),
+            ("q1", "a2", 3),
+            ("q2", "a1", 3),
+            ("q2", "a2", 1),
+            ("q3", "a1", 1),
+            ("q3", "a2", 3),
+        ]);
+        let m = pearson_scores(&g, WeightKind::Clicks);
+        let q = |n: &str| g.query_by_name(n).unwrap().0;
+        assert_eq!(m.get(q("q1"), q("q2")), 0.0); // anti-correlated, dropped
+        assert!((m.get(q("q1"), q("q3")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = graph_with_weights(&[
+            ("q1", "a1", 5),
+            ("q1", "a2", 2),
+            ("q2", "a1", 3),
+            ("q2", "a2", 8),
+        ]);
+        let q1 = g.query_by_name("q1").unwrap();
+        let q2 = g.query_by_name("q2").unwrap();
+        assert_eq!(
+            pearson_similarity(&g, q1, q2, WeightKind::Clicks),
+            pearson_similarity(&g, q2, q1, WeightKind::Clicks)
+        );
+    }
+}

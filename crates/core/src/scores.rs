@@ -1,0 +1,308 @@
+//! Sparse symmetric score storage.
+//!
+//! SimRank scores are symmetric with unit diagonal, so engines accumulate
+//! only off-diagonal unordered pairs in a hash map ([`ScoreMatrixBuilder`]),
+//! then freeze into a per-node sorted adjacency form ([`ScoreMatrix`]) for
+//! fast `get`, per-node top-k, and iteration.
+
+use simrankpp_util::{FxHashMap, PairKey, TopK};
+
+/// Accumulating builder: an unordered-pair → score map.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreMatrixBuilder {
+    n: usize,
+    entries: FxHashMap<PairKey, f64>,
+}
+
+impl ScoreMatrixBuilder {
+    /// Creates a builder for a side with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ScoreMatrixBuilder {
+            n,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    /// Adds `delta` to the score of unordered pair `(a, b)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds on diagonal pairs — the diagonal is fixed at 1.
+    #[inline]
+    pub fn add(&mut self, a: u32, b: u32, delta: f64) {
+        debug_assert_ne!(a, b, "diagonal scores are fixed at 1");
+        *self.entries.entry(PairKey::new(a, b)).or_insert(0.0) += delta;
+    }
+
+    /// Sets the score of unordered pair `(a, b)`.
+    #[inline]
+    pub fn set(&mut self, a: u32, b: u32, value: f64) {
+        debug_assert_ne!(a, b, "diagonal scores are fixed at 1");
+        self.entries.insert(PairKey::new(a, b), value);
+    }
+
+    /// Current number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops entries with score below `threshold` (or non-positive).
+    pub fn prune(&mut self, threshold: f64) {
+        self.entries.retain(|_, v| *v > threshold && *v > 0.0);
+    }
+
+    /// Merges another builder's entries additively (parallel reduction).
+    pub fn merge(&mut self, other: ScoreMatrixBuilder) {
+        if self.entries.is_empty() {
+            self.entries = other.entries;
+            return;
+        }
+        for (k, v) in other.entries {
+            *self.entries.entry(k).or_insert(0.0) += v;
+        }
+    }
+
+    /// Applies `f` to every stored score (e.g. evidence multiplication).
+    pub fn map_scores(&mut self, mut f: impl FnMut(PairKey, f64) -> f64) {
+        for (k, v) in self.entries.iter_mut() {
+            *v = f(*k, *v);
+        }
+    }
+
+    /// Freezes into the read-optimized [`ScoreMatrix`]. Non-positive scores
+    /// are dropped.
+    pub fn build(self) -> ScoreMatrix {
+        let mut sorted: Vec<(PairKey, f64)> = self
+            .entries
+            .into_iter()
+            .filter(|&(_, v)| v > 0.0)
+            .collect();
+        sorted.sort_unstable_by_key(|&(k, _)| k.raw());
+
+        let mut by_node: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.n];
+        for &(k, v) in &sorted {
+            let (a, b) = k.parts();
+            by_node[a as usize].push((b, v));
+            by_node[b as usize].push((a, v));
+        }
+        for row in &mut by_node {
+            row.sort_unstable_by_key(|&(other, _)| other);
+            row.shrink_to_fit();
+        }
+        ScoreMatrix {
+            n: self.n,
+            pairs: sorted,
+            by_node,
+        }
+    }
+
+    /// Read access during iteration: score of `(a, b)` with unit diagonal.
+    #[inline]
+    pub fn get(&self, a: u32, b: u32) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            self.entries.get(&PairKey::new(a, b)).copied().unwrap_or(0.0)
+        }
+    }
+
+    /// Iterates stored `(pair, score)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (PairKey, f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Frozen symmetric sparse score matrix with unit diagonal.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreMatrix {
+    n: usize,
+    /// Off-diagonal pairs sorted by packed key; scores are strictly positive.
+    pairs: Vec<(PairKey, f64)>,
+    /// Per-node view: `by_node[a]` = sorted `(other, score)`.
+    by_node: Vec<Vec<(u32, f64)>>,
+}
+
+impl ScoreMatrix {
+    /// An empty matrix (all off-diagonal scores zero) over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        ScoreMatrix {
+            n,
+            pairs: Vec::new(),
+            by_node: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes on this side.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (positive, off-diagonal) pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Score of `(a, b)`: 1 on the diagonal, 0 for unstored pairs.
+    pub fn get(&self, a: u32, b: u32) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let row = &self.by_node[a as usize];
+        row.binary_search_by_key(&b, |&(other, _)| other)
+            .map(|i| row[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// All stored `(a, b, score)` with `a < b`, ascending by `(a, b)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.pairs.iter().map(|&(k, v)| {
+            let (a, b) = k.parts();
+            (a, b, v)
+        })
+    }
+
+    /// The stored partners of node `a` with their scores, ascending by id.
+    pub fn partners(&self, a: u32) -> &[(u32, f64)] {
+        &self.by_node[a as usize]
+    }
+
+    /// The `k` highest-scoring partners of `a` (descending score, ties by
+    /// ascending id).
+    pub fn top_k(&self, a: u32, k: usize) -> Vec<(u32, f64)> {
+        let mut top = TopK::new(k);
+        for &(other, score) in &self.by_node[a as usize] {
+            top.push(other, score);
+        }
+        top.into_sorted_vec()
+    }
+
+    /// Largest absolute score difference against another matrix over the
+    /// union of stored pairs (convergence / engine cross-check metric).
+    pub fn max_abs_diff(&self, other: &ScoreMatrix) -> f64 {
+        let mut max = 0.0f64;
+        for &(k, v) in &self.pairs {
+            let (a, b) = k.parts();
+            max = max.max((v - other.get(a, b)).abs());
+        }
+        for &(k, v) in &other.pairs {
+            let (a, b) = k.parts();
+            max = max.max((v - self.get(a, b)).abs());
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_symmetrically() {
+        let mut b = ScoreMatrixBuilder::new(4);
+        b.add(1, 2, 0.25);
+        b.add(2, 1, 0.25); // same unordered pair
+        let m = b.build();
+        assert_eq!(m.n_pairs(), 1);
+        assert!((m.get(1, 2) - 0.5).abs() < 1e-12);
+        assert!((m.get(2, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_is_one_and_missing_zero() {
+        let m = ScoreMatrixBuilder::new(3).build();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn prune_drops_small_entries() {
+        let mut b = ScoreMatrixBuilder::new(4);
+        b.set(0, 1, 0.5);
+        b.set(0, 2, 1e-9);
+        b.set(0, 3, -0.1);
+        b.prune(1e-6);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn build_drops_nonpositive() {
+        let mut b = ScoreMatrixBuilder::new(3);
+        b.set(0, 1, 0.0);
+        b.set(1, 2, 0.3);
+        let m = b.build();
+        assert_eq!(m.n_pairs(), 1);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ScoreMatrixBuilder::new(3);
+        a.set(0, 1, 0.2);
+        let mut b = ScoreMatrixBuilder::new(3);
+        b.set(0, 1, 0.3);
+        b.set(1, 2, 0.1);
+        a.merge(b);
+        assert!((a.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((a.get(1, 2) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let mut b = ScoreMatrixBuilder::new(5);
+        b.set(0, 1, 0.1);
+        b.set(0, 2, 0.9);
+        b.set(0, 3, 0.5);
+        b.set(2, 3, 0.7); // unrelated to node 0
+        let m = b.build();
+        let top = m.top_k(0, 2);
+        assert_eq!(top.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(m.top_k(4, 3), vec![]);
+    }
+
+    #[test]
+    fn partners_sorted_by_id() {
+        let mut b = ScoreMatrixBuilder::new(4);
+        b.set(2, 0, 0.3);
+        b.set(2, 3, 0.1);
+        b.set(2, 1, 0.2);
+        let m = b.build();
+        let ids: Vec<u32> = m.partners(2).iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn iter_is_sorted_min_major() {
+        let mut b = ScoreMatrixBuilder::new(4);
+        b.set(2, 3, 0.1);
+        b.set(0, 3, 0.2);
+        b.set(0, 1, 0.3);
+        let m = b.build();
+        let keys: Vec<(u32, u32)> = m.iter().map(|(a, b, _)| (a, b)).collect();
+        assert_eq!(keys, vec![(0, 1), (0, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn max_abs_diff_covers_union() {
+        let mut a = ScoreMatrixBuilder::new(3);
+        a.set(0, 1, 0.5);
+        let ma = a.build();
+        let mut b = ScoreMatrixBuilder::new(3);
+        b.set(1, 2, 0.4);
+        let mb = b.build();
+        assert!((ma.max_abs_diff(&mb) - 0.5).abs() < 1e-12);
+        assert!((mb.max_abs_diff(&ma) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_scores_applies() {
+        let mut b = ScoreMatrixBuilder::new(3);
+        b.set(0, 1, 0.5);
+        b.set(1, 2, 0.25);
+        b.map_scores(|_, v| v * 2.0);
+        assert!((b.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((b.get(1, 2) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,516 @@
+//! Weighted SimRank (§8).
+//!
+//! §8.2 replaces the uniform random walk with transition probabilities that
+//! respect the click weights:
+//!
+//! ```text
+//! W(q,i) = spread(i) · normalized_weight(q,i)
+//!        = e^(−variance(i)) · w(q,i) / Σ_{j∈E(q)} w(q,j)
+//!
+//! s_w(q,q') = evidence(q,q') · C1 · Σ_{i∈E(q)} Σ_{j∈E(q')} W(q,i)·W(q',j)·s_w(i,j)
+//! s_w(α,α') = evidence(α,α') · C2 · Σ_{i∈E(α)} Σ_{j∈E(α')} W(α,i)·W(α',j)·s_w(i,j)
+//! ```
+//!
+//! `variance(i)` is the population variance of the weights on edges incident
+//! to node `i`, so a node whose incident weights are all equal has
+//! `spread = 1`, and high-variance nodes transmit less similarity — this is
+//! what enforces Definition 8.1's consistency (Theorem 8.1). Note there is no
+//! `1/(N·N')` prefactor: the `W` factors already normalize the walk, and the
+//! leftover probability mass `1 − Σ_i p(α,i)` is the self-transition.
+//!
+//! As in the evidence module, the recursion iterates the *walk* part and the
+//! evidence factor multiplies at read-out; the raw walk scores are kept for
+//! tie-breaking (see `evidence.rs` for why the paper's Figure 12 requires
+//! this).
+//!
+//! A practical note the paper's §9.2 choice of edge weight quietly depends
+//! on: `spread = e^(−variance)` is *scale sensitive*. With raw click counts a
+//! popular ad's incident weights can have variance in the thousands and
+//! `spread` underflows to 0; with the expected click rate (a rate in `[0, 1]`)
+//! variances stay small. This is reproduced by the `ablation_weights` bench.
+
+use crate::config::SimrankConfig;
+use crate::evidence::EvidenceKind;
+use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
+use simrankpp_graph::{AdId, ClickGraph, QueryId, WeightKind};
+use simrankpp_util::population_variance;
+
+/// Precomputed transition factors `W(·,·)` for both directions.
+#[derive(Debug, Clone)]
+pub struct TransitionWeights {
+    /// `W(q, a)` aligned with the query→ad CSR edge order.
+    pub w_query_to_ad: Vec<f64>,
+    /// `W(a, q)` aligned with the ad→query CSR edge order.
+    pub w_ad_to_query: Vec<f64>,
+    /// `spread(a) = e^(−variance(a))` per ad.
+    pub spread_ad: Vec<f64>,
+    /// `spread(q) = e^(−variance(q))` per query.
+    pub spread_query: Vec<f64>,
+}
+
+/// Whether the walk uses the §8.2 `spread = e^(−variance)` factor.
+///
+/// `Off` is an ablation knob (`ablation_spread` bench): it keeps only the
+/// normalized weights, i.e. a plain weighted random walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpreadMode {
+    /// The paper's `e^(−variance)` (default).
+    #[default]
+    Exponential,
+    /// No spread factor (spread ≡ 1).
+    Off,
+}
+
+impl TransitionWeights {
+    /// Computes all transition factors for `g` using edge weight `kind`.
+    pub fn compute(g: &ClickGraph, kind: WeightKind) -> Self {
+        Self::compute_with_spread(g, kind, SpreadMode::Exponential)
+    }
+
+    /// As [`TransitionWeights::compute`] with an explicit spread mode.
+    pub fn compute_with_spread(g: &ClickGraph, kind: WeightKind, mode: SpreadMode) -> Self {
+        let spread = |weights: &[f64]| match mode {
+            SpreadMode::Exponential => (-population_variance(weights)).exp(),
+            SpreadMode::Off => 1.0,
+        };
+        let spread_ad: Vec<f64> = g
+            .ads()
+            .map(|a| {
+                let (_, edges) = g.queries_of(a);
+                let weights: Vec<f64> = edges.iter().map(|e| e.weight(kind)).collect();
+                spread(&weights)
+            })
+            .collect();
+        let spread_query: Vec<f64> = g
+            .queries()
+            .map(|q| {
+                let (_, edges) = g.ads_of(q);
+                let weights: Vec<f64> = edges.iter().map(|e| e.weight(kind)).collect();
+                spread(&weights)
+            })
+            .collect();
+
+        // W(q, a) = spread(a) · w(q,a)/Σ_j w(q,j), laid out in query-CSR order.
+        let mut w_query_to_ad = Vec::with_capacity(g.n_edges());
+        for q in g.queries() {
+            let (ads, edges) = g.ads_of(q);
+            let total: f64 = edges.iter().map(|e| e.weight(kind)).sum();
+            for (&a, e) in ads.iter().zip(edges) {
+                let nw = if total > 0.0 { e.weight(kind) / total } else { 0.0 };
+                w_query_to_ad.push(spread_ad[a.index()] * nw);
+            }
+        }
+        // W(a, q) = spread(q) · w(a,q)/Σ_j w(a,j), in ad-CSR order.
+        let mut w_ad_to_query = Vec::with_capacity(g.n_edges());
+        for a in g.ads() {
+            let (qs, edges) = g.queries_of(a);
+            let total: f64 = edges.iter().map(|e| e.weight(kind)).sum();
+            for (&q, e) in qs.iter().zip(edges) {
+                let nw = if total > 0.0 { e.weight(kind) / total } else { 0.0 };
+                w_ad_to_query.push(spread_query[q.index()] * nw);
+            }
+        }
+        TransitionWeights {
+            w_query_to_ad,
+            w_ad_to_query,
+            spread_ad,
+            spread_query,
+        }
+    }
+
+    /// The `W(q, ·)` slice for query `q` (aligned with `g.ads_of(q)`).
+    pub fn from_query(&self, g: &ClickGraph, q: QueryId) -> &[f64] {
+        let lo = g.query_csr_offset(q);
+        let hi = g.query_csr_offset(QueryId(q.0 + 1));
+        &self.w_query_to_ad[lo..hi]
+    }
+
+    /// The `W(a, ·)` slice for ad `a` (aligned with `g.queries_of(a)`).
+    pub fn from_ad(&self, g: &ClickGraph, a: AdId) -> &[f64] {
+        let lo = g.ad_csr_offset(a);
+        let hi = g.ad_csr_offset(AdId(a.0 + 1));
+        &self.w_ad_to_query[lo..hi]
+    }
+}
+
+/// Output of weighted SimRank.
+#[derive(Debug, Clone)]
+pub struct WeightedSimrankResult {
+    /// Evidence-multiplied query-side scores (§8.2 equations).
+    pub queries: ScoreMatrix,
+    /// Evidence-multiplied ad-side scores.
+    pub ads: ScoreMatrix,
+    /// Raw weighted-walk scores (no evidence factor): used for tie-breaking
+    /// and the desirability experiment.
+    pub raw_queries: ScoreMatrix,
+    /// Raw ad-side walk scores.
+    pub raw_ads: ScoreMatrix,
+    /// Configuration used.
+    pub config: SimrankConfig,
+    /// Evidence formula used.
+    pub evidence: EvidenceKind,
+}
+
+/// Runs weighted SimRank: evidence × weighted-walk scores after
+/// `config.iterations` Jacobi iterations.
+pub fn weighted_simrank(
+    g: &ClickGraph,
+    config: &SimrankConfig,
+    evidence: EvidenceKind,
+) -> WeightedSimrankResult {
+    weighted_simrank_with_spread(g, config, evidence, SpreadMode::Exponential)
+}
+
+/// As [`weighted_simrank`] with an explicit spread mode (ablation knob).
+pub fn weighted_simrank_with_spread(
+    g: &ClickGraph,
+    config: &SimrankConfig,
+    evidence: EvidenceKind,
+    spread: SpreadMode,
+) -> WeightedSimrankResult {
+    config.validate().expect("invalid SimRank configuration");
+    let tw = TransitionWeights::compute_with_spread(g, config.weight_kind, spread);
+
+    // For the query-side update we iterate ads' neighbor lists, so realign
+    // the query→ad factors into ad-CSR order once (and vice versa).
+    let w_qa_by_ad = ad_csr_aligned_query_factors(g, &tw);
+    let w_aq_by_query = query_csr_aligned_ad_factors(g, &tw);
+
+    let mut q_scores = ScoreMatrixBuilder::new(g.n_queries());
+    let mut a_scores = ScoreMatrixBuilder::new(g.n_ads());
+
+    for _ in 0..config.iterations {
+        let next_q = update_query_side(g, &w_qa_by_ad, &a_scores, config);
+        let next_a = update_ad_side(g, &w_aq_by_query, &q_scores, config);
+        q_scores = next_q;
+        a_scores = next_a;
+    }
+
+    let raw_queries = q_scores.build();
+    let raw_ads = a_scores.build();
+
+    // Evidence at read-out.
+    let mut qb = ScoreMatrixBuilder::new(g.n_queries());
+    for (a, b, v) in raw_queries.iter() {
+        let ev = evidence.value(g.common_ads(QueryId(a), QueryId(b)));
+        if ev > 0.0 {
+            qb.set(a, b, ev * v);
+        }
+    }
+    let mut ab = ScoreMatrixBuilder::new(g.n_ads());
+    for (a, b, v) in raw_ads.iter() {
+        let ev = evidence.value(g.common_queries(AdId(a), AdId(b)));
+        if ev > 0.0 {
+            ab.set(a, b, ev * v);
+        }
+    }
+
+    WeightedSimrankResult {
+        queries: qb.build(),
+        ads: ab.build(),
+        raw_queries,
+        raw_ads,
+        config: *config,
+        evidence,
+    }
+}
+
+/// Query-side Jacobi update with `W` factors: the ad-pair entry `(i,j,s)`
+/// contributes `W(q,i)·W(q',j)·s` per ordered neighbor combination, and the
+/// unit ad diagonal contributes `W(q,i)·W(q',i)` per common ad `i`.
+fn update_query_side(
+    g: &ClickGraph,
+    w_qa_by_ad: &[f64],
+    prev_ads: &ScoreMatrixBuilder,
+    config: &SimrankConfig,
+) -> ScoreMatrixBuilder {
+    let mut acc = ScoreMatrixBuilder::new(g.n_queries());
+
+    for (key, s) in prev_ads.iter() {
+        let (i, j) = key.parts();
+        let (qs_i, _) = g.queries_of(AdId(i));
+        let (qs_j, _) = g.queries_of(AdId(j));
+        let wi = ad_row(w_qa_by_ad, g, AdId(i));
+        let wj = ad_row(w_qa_by_ad, g, AdId(j));
+        for (x, &qa) in qs_i.iter().enumerate() {
+            for (y, &qb) in qs_j.iter().enumerate() {
+                if qa != qb {
+                    acc.add(qa.0, qb.0, wi[x] * wj[y] * s);
+                }
+            }
+        }
+    }
+    for ai in 0..g.n_ads() {
+        let a = AdId(ai as u32);
+        let (qs, _) = g.queries_of(a);
+        let w = ad_row(w_qa_by_ad, g, a);
+        for x in 0..qs.len() {
+            for y in (x + 1)..qs.len() {
+                acc.add(qs[x].0, qs[y].0, w[x] * w[y]);
+            }
+        }
+    }
+
+    acc.map_scores(|_, v| config.c1 * v);
+    acc.prune(config.prune_threshold);
+    acc
+}
+
+/// Ad-side Jacobi update with `W` factors (mirror of the query side).
+fn update_ad_side(
+    g: &ClickGraph,
+    w_aq_by_query: &[f64],
+    prev_queries: &ScoreMatrixBuilder,
+    config: &SimrankConfig,
+) -> ScoreMatrixBuilder {
+    let mut acc = ScoreMatrixBuilder::new(g.n_ads());
+
+    for (key, s) in prev_queries.iter() {
+        let (i, j) = key.parts();
+        let (ads_i, _) = g.ads_of(QueryId(i));
+        let (ads_j, _) = g.ads_of(QueryId(j));
+        let wi = query_row(w_aq_by_query, g, QueryId(i));
+        let wj = query_row(w_aq_by_query, g, QueryId(j));
+        for (x, &aa) in ads_i.iter().enumerate() {
+            for (y, &ab) in ads_j.iter().enumerate() {
+                if aa != ab {
+                    acc.add(aa.0, ab.0, wi[x] * wj[y] * s);
+                }
+            }
+        }
+    }
+    for qi in 0..g.n_queries() {
+        let q = QueryId(qi as u32);
+        let (ads, _) = g.ads_of(q);
+        let w = query_row(w_aq_by_query, g, q);
+        for x in 0..ads.len() {
+            for y in (x + 1)..ads.len() {
+                acc.add(ads[x].0, ads[y].0, w[x] * w[y]);
+            }
+        }
+    }
+
+    acc.map_scores(|_, v| config.c2 * v);
+    acc.prune(config.prune_threshold);
+    acc
+}
+
+/// `W(q, a)` values re-laid-out in ad-CSR order (entry per (a ← q) edge).
+fn ad_csr_aligned_query_factors(g: &ClickGraph, tw: &TransitionWeights) -> Vec<f64> {
+    let mut out = vec![0.0; g.n_edges()];
+    let mut q_edge_idx = 0usize;
+    for q in g.queries() {
+        let (ads, _) = g.ads_of(q);
+        for &a in ads {
+            let (qs, _) = g.queries_of(a);
+            let pos = qs.binary_search(&q).expect("edge present in transpose");
+            out[g.ad_csr_offset(a) + pos] = tw.w_query_to_ad[q_edge_idx];
+            q_edge_idx += 1;
+        }
+    }
+    out
+}
+
+/// `W(a, q)` values re-laid-out in query-CSR order (entry per (q ← a) edge).
+fn query_csr_aligned_ad_factors(g: &ClickGraph, tw: &TransitionWeights) -> Vec<f64> {
+    let mut out = vec![0.0; g.n_edges()];
+    let mut a_edge_idx = 0usize;
+    for a in g.ads() {
+        let (qs, _) = g.queries_of(a);
+        for &q in qs {
+            let (ads, _) = g.ads_of(q);
+            let pos = ads.binary_search(&a).expect("edge present in transpose");
+            out[g.query_csr_offset(q) + pos] = tw.w_ad_to_query[a_edge_idx];
+            a_edge_idx += 1;
+        }
+    }
+    out
+}
+
+fn ad_row<'a>(values: &'a [f64], g: &ClickGraph, a: AdId) -> &'a [f64] {
+    &values[g.ad_csr_offset(a)..g.ad_csr_offset(AdId(a.0 + 1))]
+}
+
+fn query_row<'a>(values: &'a [f64], g: &ClickGraph, q: QueryId) -> &'a [f64] {
+    &values[g.query_csr_offset(q)..g.query_csr_offset(QueryId(q.0 + 1))]
+}
+
+/// One-iteration weighted-walk score of two queries sharing a single ad with
+/// incident weights `weights` (each query's only edge). Used by the
+/// Theorem 8.1 / Figure 5 demonstrations: `C1 · spread(ad)²`.
+pub fn star_pair_score(weights: (f64, f64), c1: f64) -> f64 {
+    let (w1, w2) = weights;
+    let var = population_variance(&[w1, w2]);
+    let spread = (-var).exp();
+    // Single-edge queries have normalized weight 1, so W = spread.
+    c1 * spread * spread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::fixtures::{figure3_graph, figure4_k22, figure5_graphs, figure6_graphs};
+    use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+
+    fn cfg(k: usize) -> SimrankConfig {
+        SimrankConfig::default()
+            .with_iterations(k)
+            .with_weight_kind(WeightKind::Clicks)
+    }
+
+    #[test]
+    fn transition_weights_uniform_graph() {
+        // All weights equal → variance 0 → spread 1 → W = 1/deg.
+        let g = figure4_k22();
+        let tw = TransitionWeights::compute(&g, WeightKind::Clicks);
+        for v in &tw.spread_ad {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        for v in &tw.w_query_to_ad {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transition_probabilities_sum_at_most_one() {
+        let (left, right) = figure5_graphs();
+        for g in [&left, &right] {
+            let tw = TransitionWeights::compute(g, WeightKind::Clicks);
+            for q in g.queries() {
+                let total: f64 = tw.from_query(g, q).iter().sum();
+                assert!(total <= 1.0 + 1e-12, "outgoing mass {total} > 1");
+            }
+            for a in g.ads() {
+                let total: f64 = tw.from_ad(g, a).iter().sum();
+                assert!(total <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_balanced_pair_wins() {
+        // Figure 5: equal-click pair (flower, orchids) must beat the skewed
+        // pair (flower, teleflora) — Def 8.1 rule (ii).
+        let (left, right) = figure5_graphs();
+        let sl = weighted_simrank(&left, &cfg(5), EvidenceKind::Geometric);
+        let sr = weighted_simrank(&right, &cfg(5), EvidenceKind::Geometric);
+        assert!(
+            sl.queries.get(0, 1) > sr.queries.get(0, 1),
+            "left {} must exceed right {}",
+            sl.queries.get(0, 1),
+            sr.queries.get(0, 1)
+        );
+    }
+
+    #[test]
+    fn figure6_same_spread_does_not_invert() {
+        // Figure 6: both graphs have zero variance at the ad, so the §8.2
+        // equations — which are scale-invariant through the normalized
+        // weights — tie the two pairs. (The intuitive "more clicks wins"
+        // ordering of §8.1 needs differing spreads or an embedding; see
+        // rule_i_in_embedded_graph.) The important property: the heavier
+        // pair never scores *lower*.
+        let (left, right) = figure6_graphs();
+        let sl = weighted_simrank(&left, &cfg(5), EvidenceKind::Geometric);
+        let sr = weighted_simrank(&right, &cfg(5), EvidenceKind::Geometric);
+        assert!(sl.queries.get(0, 1) >= sr.queries.get(0, 1) - 1e-12);
+    }
+
+    #[test]
+    fn rule_i_in_embedded_graph() {
+        // Definition 8.1 rule (i): equal variance at the two ads, but the
+        // first pair reaches its ad with heavier clicks. Each query also has
+        // a weight-1 edge to a shared background ad, so the heavier absolute
+        // weight translates into a larger normalized share:
+        //   h1, h2 →(10)→ v1;  l1, l2 →(2)→ v2;  everyone →(1)→ bg.
+        // variance(v1) = variance(v2) = 0, w(h1,v1)=10 > w(l1,v2)=2
+        // ⇒ sim(h1,h2) > sim(l1,l2) must hold at every iteration count.
+        let mut b = ClickGraphBuilder::new();
+        for (name, ad, w) in [
+            ("h1", "v1", 10u64),
+            ("h2", "v1", 10),
+            ("l1", "v2", 2),
+            ("l2", "v2", 2),
+        ] {
+            b.add_named(name, ad, EdgeData::from_clicks(w));
+            b.add_named(name, "bg", EdgeData::from_clicks(1));
+        }
+        let g = b.build();
+        let q = |n: &str| g.query_by_name(n).unwrap().0;
+        for k in 1..=8 {
+            let r = weighted_simrank(&g, &cfg(k), EvidenceKind::Geometric);
+            let heavy = r.queries.get(q("h1"), q("h2"));
+            let light = r.queries.get(q("l1"), q("l2"));
+            assert!(
+                heavy > light,
+                "k={k}: heavy pair {heavy} must exceed light pair {light}"
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_applied_at_readout() {
+        let g = figure4_k22();
+        let r = weighted_simrank(&g, &cfg(3), EvidenceKind::Geometric);
+        // Uniform K2,2: weighted walk == plain SimRank; evidence = 3/4.
+        let plain = crate::simrank::simrank(&g, &cfg(3));
+        assert!((r.raw_queries.get(0, 1) - plain.queries.get(0, 1)).abs() < 1e-12);
+        assert!((r.queries.get(0, 1) - 0.75 * plain.queries.get(0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_simrank() {
+        // On an equal-weight graph W(q,i) = 1/N(q), so raw weighted scores
+        // coincide with plain SimRank.
+        let g = figure3_graph();
+        let plain = crate::simrank::simrank(&g, &cfg(6));
+        let weighted = weighted_simrank(&g, &cfg(6), EvidenceKind::Geometric);
+        assert!(
+            plain.queries.max_abs_diff(&weighted.raw_queries) < 1e-12,
+            "diff = {}",
+            plain.queries.max_abs_diff(&weighted.raw_queries)
+        );
+        assert!(plain.ads.max_abs_diff(&weighted.raw_ads) < 1e-12);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let (left, _) = figure5_graphs();
+        let r = weighted_simrank(&left, &cfg(10), EvidenceKind::Geometric);
+        for (_, _, v) in r.queries.iter() {
+            assert!(v > 0.0 && v <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_pair_score_monotone_in_balance() {
+        let balanced = star_pair_score((50.0, 50.0), 0.8);
+        let skewed = star_pair_score((40.0, 60.0), 0.8);
+        let very_skewed = star_pair_score((1.0, 99.0), 0.8);
+        assert!(balanced > skewed && skewed > very_skewed);
+        assert!((balanced - 0.8).abs() < 1e-12); // variance 0 → C1
+    }
+
+    #[test]
+    fn ecr_weights_avoid_spread_underflow() {
+        // With raw clicks, a popular ad's weight variance can be huge and
+        // spread underflows; with ECR (a rate) it stays usable. Reproduce
+        // the contrast on a two-query star with clicks {200, 2}.
+        let mut b = ClickGraphBuilder::new();
+        b.add_named("popular", "ad", EdgeData::new(1000, 200, 0.2));
+        b.add_named("niche", "ad", EdgeData::new(10, 2, 0.2));
+        let g = b.build();
+        let clicks = weighted_simrank(
+            &g,
+            &cfg(3).with_weight_kind(WeightKind::Clicks),
+            EvidenceKind::Geometric,
+        );
+        let ecr = weighted_simrank(
+            &g,
+            &cfg(3).with_weight_kind(WeightKind::ExpectedClickRate),
+            EvidenceKind::Geometric,
+        );
+        assert_eq!(clicks.queries.get(0, 1), 0.0, "spread underflow expected");
+        assert!(ecr.queries.get(0, 1) > 0.3, "ECR weights must survive");
+    }
+}

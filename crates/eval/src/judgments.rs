@@ -1,0 +1,82 @@
+//! Judged rewrite lists — the unit every §9.4 metric consumes.
+
+use serde::{Deserialize, Serialize};
+use simrankpp_graph::QueryId;
+use simrankpp_synth::Grade;
+
+/// One rewrite with its editorial grade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JudgedRewrite {
+    /// The rewrite (evaluation-graph id).
+    pub rewrite: QueryId,
+    /// The method's similarity score.
+    pub score: f64,
+    /// The editorial grade (Table 6).
+    pub grade: Grade,
+}
+
+/// The judged rewrites one method produced for one query, in rank order.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct QueryJudgments {
+    /// The original query (evaluation-graph id).
+    pub query: QueryId,
+    /// Ranked judged rewrites (≤ the pipeline's max, 5 in the paper).
+    pub rewrites: Vec<JudgedRewrite>,
+}
+
+impl QueryJudgments {
+    /// Number of rewrites (the method's depth for this query).
+    pub fn depth(&self) -> usize {
+        self.rewrites.len()
+    }
+
+    /// Number of rewrites relevant at the given threshold.
+    pub fn relevant_count(&self, threshold: crate::metrics::RelevanceThreshold) -> usize {
+        self.rewrites
+            .iter()
+            .filter(|r| threshold.is_relevant(r.grade))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RelevanceThreshold;
+
+    fn sample() -> QueryJudgments {
+        QueryJudgments {
+            query: QueryId(0),
+            rewrites: vec![
+                JudgedRewrite {
+                    rewrite: QueryId(1),
+                    score: 0.9,
+                    grade: Grade::Precise,
+                },
+                JudgedRewrite {
+                    rewrite: QueryId(2),
+                    score: 0.5,
+                    grade: Grade::Possible,
+                },
+                JudgedRewrite {
+                    rewrite: QueryId(3),
+                    score: 0.4,
+                    grade: Grade::Approximate,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn depth_counts_rewrites() {
+        assert_eq!(sample().depth(), 3);
+        assert_eq!(QueryJudgments::default().depth(), 0);
+    }
+
+    #[test]
+    fn relevant_counts_respect_threshold() {
+        let j = sample();
+        assert_eq!(j.relevant_count(RelevanceThreshold::Grade12), 2);
+        assert_eq!(j.relevant_count(RelevanceThreshold::Grade1), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! The paper's worked-example graphs.
+//!
+//! * [`figure3_graph`] — the Figure 3 sample click graph (queries *pc*,
+//!   *camera*, *digital camera*, *tv*, *flower*; ads *hp.com*, *bestbuy.com*,
+//!   *teleflora.com*, *orchids.com*). Tables 1 and 2 are computed on it.
+//! * [`complete_bipartite`] — `K_{m,n}` click graphs as in Figure 4
+//!   (`K_{2,2}` = camera/digital-camera, `K_{1,2}` = pc/camera), used for
+//!   Tables 3–4 and the Theorem 6.x/7.1 property tests.
+//! * [`figure5_graphs`] / [`figure6_graphs`] — the §8.1 weighted-consistency
+//!   examples (flower/orchids vs flower/teleflora).
+
+use crate::builder::ClickGraphBuilder;
+use crate::edge::EdgeData;
+use crate::graph::ClickGraph;
+use crate::ids::{AdId, QueryId};
+
+/// Edge list of the Figure 3 sample click graph.
+///
+/// Reconstructed from Table 1's common-ad counts: *camera* and *digital
+/// camera* form a `K_{2,2}` with hp.com and bestbuy.com; *pc* reaches the pair
+/// through hp.com only; *tv* through bestbuy.com only; *flower* is connected
+/// to teleflora.com and orchids.com and to nothing else.
+pub const FIGURE3_EDGES: &[(&str, &str)] = &[
+    ("pc", "hp.com"),
+    ("camera", "hp.com"),
+    ("camera", "bestbuy.com"),
+    ("digital camera", "hp.com"),
+    ("digital camera", "bestbuy.com"),
+    ("tv", "bestbuy.com"),
+    ("flower", "teleflora.com"),
+    ("flower", "orchids.com"),
+];
+
+/// Query display names of Figure 3, in the order the paper's tables list them.
+pub const FIGURE3_QUERIES: &[&str] = &["pc", "camera", "digital camera", "tv", "flower"];
+
+/// Builds the Figure 3 sample click graph (unweighted: one click per edge).
+pub fn figure3_graph() -> ClickGraph {
+    let mut b = ClickGraphBuilder::new();
+    // Intern queries first so their ids follow the paper's table order.
+    for q in FIGURE3_QUERIES {
+        b.intern_query(q);
+    }
+    for (q, a) in FIGURE3_EDGES {
+        b.add_named(q, a, EdgeData::from_clicks(1));
+    }
+    let g = b.build();
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Builds the complete bipartite click graph `K_{m,n}`: `m` queries each
+/// connected to all `n` ads, every edge carrying `edge` data.
+pub fn complete_bipartite(m: usize, n: usize, edge: EdgeData) -> ClickGraph {
+    let mut b = ClickGraphBuilder::new();
+    for q in 0..m {
+        for a in 0..n {
+            b.add_edge(QueryId(q as u32), AdId(a as u32), edge);
+        }
+    }
+    let g = b.build();
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Figure 4(a): `K_{2,2}` — queries {camera, digital camera} × two ads.
+pub fn figure4_k22() -> ClickGraph {
+    let mut b = ClickGraphBuilder::new();
+    for q in ["camera", "digital camera"] {
+        for a in ["hp.com", "bestbuy.com"] {
+            b.add_named(q, a, EdgeData::from_clicks(1));
+        }
+    }
+    b.build()
+}
+
+/// Figure 4(b): `K_{1,2}` viewed from the query side — one ad clicked from
+/// both *pc* and *camera*. (In the paper's `K_{m,2}` notation the "2" side is
+/// the pair whose similarity is measured; here that is the two queries.)
+pub fn figure4_k12() -> ClickGraph {
+    let mut b = ClickGraphBuilder::new();
+    b.add_named("pc", "ad", EdgeData::from_clicks(1));
+    b.add_named("camera", "ad", EdgeData::from_clicks(1));
+    b.build()
+}
+
+/// §8.1 Figure 5: two weighted graphs, each one ad with two queries.
+/// Left: flower→100, orchids→100 (equal spread). Right: flower→100,
+/// teleflora→1 (high variance). Weighted SimRank must rank the left pair as
+/// more similar.
+pub fn figure5_graphs() -> (ClickGraph, ClickGraph) {
+    let mut left = ClickGraphBuilder::new();
+    left.add_named("flower", "ad", weighted(100.0));
+    left.add_named("orchids", "ad", weighted(100.0));
+
+    let mut right = ClickGraphBuilder::new();
+    right.add_named("flower", "ad", weighted(100.0));
+    right.add_named("teleflora", "ad", weighted(1.0));
+
+    (left.build(), right.build())
+}
+
+/// §8.1 Figure 6: equal spread in both graphs, but the left pair carries more
+/// clicks (100/100 vs 1/1). Weighted SimRank must rank the left pair higher.
+pub fn figure6_graphs() -> (ClickGraph, ClickGraph) {
+    let mut left = ClickGraphBuilder::new();
+    left.add_named("flower", "ad", weighted(100.0));
+    left.add_named("orchids", "ad", weighted(100.0));
+
+    let mut right = ClickGraphBuilder::new();
+    right.add_named("flower", "ad", weighted(1.0));
+    right.add_named("teleflora", "ad", weighted(1.0));
+
+    (left.build(), right.build())
+}
+
+/// An edge whose click weight is `w` (used by the §8.1 figures, which only
+/// talk about click counts).
+fn weighted(w: f64) -> EdgeData {
+    let clicks = w.round() as u64;
+    EdgeData::new(clicks.max(1) * 10, clicks, w / (clicks.max(1) as f64 * 10.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_matches_table1_counts() {
+        let g = figure3_graph();
+        assert_eq!(g.n_queries(), 5);
+        assert_eq!(g.n_ads(), 4);
+        assert_eq!(g.n_edges(), 8);
+
+        let q = |name: &str| g.query_by_name(name).unwrap();
+        // Table 1: common-ad counts.
+        assert_eq!(g.common_ads(q("pc"), q("camera")), 1);
+        assert_eq!(g.common_ads(q("pc"), q("digital camera")), 1);
+        assert_eq!(g.common_ads(q("pc"), q("tv")), 0);
+        assert_eq!(g.common_ads(q("pc"), q("flower")), 0);
+        assert_eq!(g.common_ads(q("camera"), q("digital camera")), 2);
+        assert_eq!(g.common_ads(q("camera"), q("tv")), 1);
+        assert_eq!(g.common_ads(q("camera"), q("flower")), 0);
+        assert_eq!(g.common_ads(q("digital camera"), q("tv")), 1);
+        assert_eq!(g.common_ads(q("tv"), q("flower")), 0);
+    }
+
+    #[test]
+    fn query_order_matches_paper_tables() {
+        let g = figure3_graph();
+        for (i, name) in FIGURE3_QUERIES.iter().enumerate() {
+            assert_eq!(g.query_name(QueryId(i as u32)), Some(*name));
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4, EdgeData::from_clicks(1));
+        assert_eq!(g.n_queries(), 3);
+        assert_eq!(g.n_ads(), 4);
+        assert_eq!(g.n_edges(), 12);
+        for q in g.queries() {
+            assert_eq!(g.query_degree(q), 4);
+        }
+        for a in g.ads() {
+            assert_eq!(g.ad_degree(a), 3);
+        }
+    }
+
+    #[test]
+    fn figure4_graphs() {
+        let k22 = figure4_k22();
+        assert_eq!((k22.n_queries(), k22.n_ads(), k22.n_edges()), (2, 2, 4));
+        let k12 = figure4_k12();
+        assert_eq!((k12.n_queries(), k12.n_ads(), k12.n_edges()), (2, 1, 2));
+    }
+
+    #[test]
+    fn figure5_weights() {
+        let (l, r) = figure5_graphs();
+        let lw: Vec<u64> = l.edges().map(|(_, _, e)| e.clicks).collect();
+        assert_eq!(lw, vec![100, 100]);
+        let rw: Vec<u64> = r.edges().map(|(_, _, e)| e.clicks).collect();
+        assert_eq!(rw, vec![100, 1]);
+    }
+
+    #[test]
+    fn figure6_weights() {
+        let (l, r) = figure6_graphs();
+        let lw: Vec<u64> = l.edges().map(|(_, _, e)| e.clicks).collect();
+        assert_eq!(lw, vec![100, 100]);
+        let rw: Vec<u64> = r.edges().map(|(_, _, e)| e.clicks).collect();
+        assert_eq!(rw, vec![1, 1]);
+    }
+}

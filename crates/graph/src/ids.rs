@@ -1,0 +1,162 @@
+//! Typed dense node identifiers.
+//!
+//! Queries and ads live in separate id spaces (`Q` and `A` in the paper's
+//! `G = (Q, A, E)`), both dense `u32` ranges starting at zero. Newtypes keep
+//! the two spaces from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a query node (`q ∈ Q`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct QueryId(pub u32);
+
+/// Identifier of an ad node (`α ∈ A`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct AdId(pub u32);
+
+impl QueryId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AdId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for AdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for QueryId {
+    fn from(v: u32) -> Self {
+        QueryId(v)
+    }
+}
+
+impl From<u32> for AdId {
+    fn from(v: u32) -> Self {
+        AdId(v)
+    }
+}
+
+/// A reference to either side of the bipartite graph.
+///
+/// Algorithms that walk the whole graph (PageRank, partitioning) treat the
+/// two node sets uniformly through this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A query-side node.
+    Query(QueryId),
+    /// An ad-side node.
+    Ad(AdId),
+}
+
+impl NodeRef {
+    /// `true` if this is a query node.
+    pub fn is_query(self) -> bool {
+        matches!(self, NodeRef::Query(_))
+    }
+
+    /// `true` if this is an ad node.
+    pub fn is_ad(self) -> bool {
+        matches!(self, NodeRef::Ad(_))
+    }
+
+    /// The query id, if this is a query node.
+    pub fn as_query(self) -> Option<QueryId> {
+        match self {
+            NodeRef::Query(q) => Some(q),
+            NodeRef::Ad(_) => None,
+        }
+    }
+
+    /// The ad id, if this is an ad node.
+    pub fn as_ad(self) -> Option<AdId> {
+        match self {
+            NodeRef::Ad(a) => Some(a),
+            NodeRef::Query(_) => None,
+        }
+    }
+
+    /// Flattens the two id spaces into one dense range: queries first
+    /// (`0..n_queries`), then ads (`n_queries..n_queries+n_ads`).
+    pub fn flat_index(self, n_queries: usize) -> usize {
+        match self {
+            NodeRef::Query(q) => q.index(),
+            NodeRef::Ad(a) => n_queries + a.index(),
+        }
+    }
+
+    /// Inverse of [`NodeRef::flat_index`].
+    pub fn from_flat_index(idx: usize, n_queries: usize) -> NodeRef {
+        if idx < n_queries {
+            NodeRef::Query(QueryId(idx as u32))
+        } else {
+            NodeRef::Ad(AdId((idx - n_queries) as u32))
+        }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Query(q) => write!(f, "{q}"),
+            NodeRef::Ad(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QueryId(3).to_string(), "q3");
+        assert_eq!(AdId(7).to_string(), "a7");
+        assert_eq!(NodeRef::Query(QueryId(3)).to_string(), "q3");
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let n_queries = 10;
+        for idx in 0..25 {
+            let node = NodeRef::from_flat_index(idx, n_queries);
+            assert_eq!(node.flat_index(n_queries), idx);
+        }
+        assert!(NodeRef::from_flat_index(9, n_queries).is_query());
+        assert!(NodeRef::from_flat_index(10, n_queries).is_ad());
+    }
+
+    #[test]
+    fn accessors() {
+        let q = NodeRef::Query(QueryId(1));
+        let a = NodeRef::Ad(AdId(2));
+        assert_eq!(q.as_query(), Some(QueryId(1)));
+        assert_eq!(q.as_ad(), None);
+        assert_eq!(a.as_ad(), Some(AdId(2)));
+        assert_eq!(a.as_query(), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Sliding-window click-graph accumulation.
+//!
+//! §2 defines the click graph "for a specific time period"; the evaluation
+//! uses "a two-weeks click graph" that a production back-end maintains as a
+//! rolling window: new click/impression events arrive continuously, and
+//! buckets older than the window retire. [`SlidingWindowGraph`] implements
+//! exactly that: per-bucket (e.g. per-day) edge accumulators, `advance()` to
+//! rotate out the oldest bucket, and `snapshot()` to freeze the current
+//! window into an immutable [`ClickGraph`] for the front-end to score.
+//!
+//! Names are interned once in a shared interner so node ids are stable
+//! across snapshots — a query keeps its id for its entire lifetime, which
+//! lets downstream caches (score matrices, rewrite lists) be diffed across
+//! windows.
+
+use crate::builder::ClickGraphBuilder;
+use crate::edge::EdgeData;
+use crate::graph::ClickGraph;
+use crate::ids::{AdId, QueryId};
+use crate::interner::Interner;
+use simrankpp_util::FxHashMap;
+use std::collections::VecDeque;
+
+/// A rolling multi-bucket click-graph accumulator.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowGraph {
+    /// Window length in buckets (e.g. 14 for two weeks of daily buckets).
+    window: usize,
+    /// Oldest → newest per-bucket edge accumulators.
+    buckets: VecDeque<FxHashMap<(u32, u32), EdgeData>>,
+    query_names: Interner,
+    ad_names: Interner,
+    /// Number of `advance()` calls so far (the current bucket's index).
+    epoch: u64,
+}
+
+impl SlidingWindowGraph {
+    /// Creates a window of `window` buckets (≥ 1), starting with one empty
+    /// current bucket.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one bucket");
+        let mut buckets = VecDeque::with_capacity(window);
+        buckets.push_back(FxHashMap::default());
+        SlidingWindowGraph {
+            window,
+            buckets,
+            query_names: Interner::new(),
+            ad_names: Interner::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The configured window length in buckets.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The current bucket's index (starts at 0, +1 per [`Self::advance`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of buckets currently held (≤ window).
+    pub fn buckets_held(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Records an observation of `(query, ad)` in the current bucket.
+    /// Returns the stable ids.
+    pub fn observe(&mut self, query: &str, ad: &str, data: EdgeData) -> (QueryId, AdId) {
+        let q = QueryId(self.query_names.intern(query));
+        let a = AdId(self.ad_names.intern(ad));
+        self.buckets
+            .back_mut()
+            .expect("always at least one bucket")
+            .entry((q.0, a.0))
+            .and_modify(|e| e.merge(&data))
+            .or_insert(data);
+        (q, a)
+    }
+
+    /// Records by stable ids (for callers that interned up front).
+    pub fn observe_ids(&mut self, q: QueryId, a: AdId, data: EdgeData) {
+        assert!(
+            (q.0 as usize) < self.query_names.len() && (a.0 as usize) < self.ad_names.len(),
+            "ids must come from this window's interners"
+        );
+        self.buckets
+            .back_mut()
+            .expect("always at least one bucket")
+            .entry((q.0, a.0))
+            .and_modify(|e| e.merge(&data))
+            .or_insert(data);
+    }
+
+    /// Closes the current bucket and opens a new one; the oldest bucket
+    /// retires once more than `window` are held. Ids remain stable.
+    pub fn advance(&mut self) {
+        self.buckets.push_back(FxHashMap::default());
+        while self.buckets.len() > self.window {
+            self.buckets.pop_front();
+        }
+        self.epoch += 1;
+    }
+
+    /// Freezes the current window into an immutable [`ClickGraph`].
+    ///
+    /// Node ids in the snapshot equal the stable interned ids (every query
+    /// and ad ever observed keeps its id, even if all its edges have
+    /// retired — it simply appears isolated).
+    pub fn snapshot(&self) -> ClickGraph {
+        let mut b = ClickGraphBuilder::new();
+        for (_, name) in self.query_names.iter() {
+            b.intern_query(name);
+        }
+        for (_, name) in self.ad_names.iter() {
+            b.intern_ad(name);
+        }
+        for bucket in &self.buckets {
+            for (&(q, a), data) in bucket {
+                b.add_edge(QueryId(q), AdId(a), *data);
+            }
+        }
+        let g = b.build();
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+
+    /// Looks up a query's stable id without inserting.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.query_names.get(name).map(QueryId)
+    }
+
+    /// Looks up an ad's stable id without inserting.
+    pub fn ad_id(&self, name: &str) -> Option<AdId> {
+        self.ad_names.get(name).map(AdId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn click() -> EdgeData {
+        EdgeData::new(10, 2, 0.2)
+    }
+
+    #[test]
+    fn accumulates_within_a_bucket() {
+        let mut w = SlidingWindowGraph::new(3);
+        w.observe("camera", "hp.com", click());
+        w.observe("camera", "hp.com", click());
+        let g = w.snapshot();
+        let q = g.query_by_name("camera").unwrap();
+        let a = g.ad_by_name("hp.com").unwrap();
+        let e = g.edge(q, a).unwrap();
+        assert_eq!(e.impressions, 20);
+        assert_eq!(e.clicks, 4);
+    }
+
+    #[test]
+    fn window_retires_old_buckets() {
+        let mut w = SlidingWindowGraph::new(2);
+        w.observe("old", "ad1", click());
+        w.advance(); // bucket 1
+        w.observe("mid", "ad2", click());
+        w.advance(); // bucket 2: "old" bucket retires
+        w.observe("new", "ad3", click());
+
+        let g = w.snapshot();
+        let old = g.query_by_name("old").unwrap();
+        assert_eq!(g.query_degree(old), 0, "retired edges must vanish");
+        let mid = g.query_by_name("mid").unwrap();
+        assert_eq!(g.query_degree(mid), 1);
+        let new = g.query_by_name("new").unwrap();
+        assert_eq!(g.query_degree(new), 1);
+    }
+
+    #[test]
+    fn ids_are_stable_across_snapshots() {
+        let mut w = SlidingWindowGraph::new(2);
+        let (q0, _) = w.observe("camera", "hp.com", click());
+        let snap1 = w.snapshot();
+        w.advance();
+        w.observe("flower", "teleflora.com", click());
+        let snap2 = w.snapshot();
+        assert_eq!(snap1.query_by_name("camera"), Some(q0));
+        assert_eq!(snap2.query_by_name("camera"), Some(q0));
+        assert_eq!(w.query_id("camera"), Some(q0));
+    }
+
+    #[test]
+    fn same_edge_across_buckets_merges_in_snapshot() {
+        let mut w = SlidingWindowGraph::new(3);
+        w.observe("q", "ad", click());
+        w.advance();
+        w.observe("q", "ad", click());
+        let g = w.snapshot();
+        let e = g
+            .edge(g.query_by_name("q").unwrap(), g.ad_by_name("ad").unwrap())
+            .unwrap();
+        assert_eq!(e.impressions, 20);
+        assert_eq!(e.clicks, 4);
+    }
+
+    #[test]
+    fn epoch_counts_advances() {
+        let mut w = SlidingWindowGraph::new(14);
+        assert_eq!(w.epoch(), 0);
+        for _ in 0..5 {
+            w.advance();
+        }
+        assert_eq!(w.epoch(), 5);
+        assert_eq!(w.buckets_held(), 6);
+        for _ in 0..20 {
+            w.advance();
+        }
+        assert_eq!(w.buckets_held(), 14);
+    }
+
+    #[test]
+    fn observe_ids_requires_interned_ids() {
+        let mut w = SlidingWindowGraph::new(2);
+        let (q, a) = w.observe("q", "ad", click());
+        w.observe_ids(q, a, click());
+        let g = w.snapshot();
+        assert_eq!(g.edge(q, a).unwrap().clicks, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "interners")]
+    fn observe_ids_rejects_foreign_ids() {
+        let mut w = SlidingWindowGraph::new(2);
+        w.observe_ids(QueryId(99), AdId(0), click());
+    }
+
+    #[test]
+    fn two_week_simulation_end_to_end() {
+        // 14 daily buckets over 20 days: only the last 14 days survive.
+        let mut w = SlidingWindowGraph::new(14);
+        for day in 0..20u64 {
+            w.observe("q", &format!("ad-day{day}"), click());
+            if day < 19 {
+                w.advance();
+            }
+        }
+        let g = w.snapshot();
+        let q = g.query_by_name("q").unwrap();
+        assert_eq!(g.query_degree(q), 14, "exactly the last 14 days of edges");
+        // The earliest retired day's ad is isolated.
+        let ad0 = g.ad_by_name("ad-day0").unwrap();
+        assert_eq!(g.ad_degree(ad0), 0);
+        // The newest day's ad is connected.
+        let ad19 = g.ad_by_name("ad-day19").unwrap();
+        assert_eq!(g.ad_degree(ad19), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! A unified node view over the bipartite click graph.
+//!
+//! Partitioning algorithms treat queries and ads as one undirected graph.
+//! [`FlatView`] flattens the two id spaces: queries occupy `0..n_queries`,
+//! ads occupy `n_queries..n_queries+n_ads` (the same convention as
+//! [`NodeRef::flat_index`]).
+
+use simrankpp_graph::{AdId, ClickGraph, NodeRef, QueryId};
+
+/// Flat-index adapter over a [`ClickGraph`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatView<'g> {
+    g: &'g ClickGraph,
+}
+
+impl<'g> FlatView<'g> {
+    /// Wraps a click graph.
+    pub fn new(g: &'g ClickGraph) -> Self {
+        FlatView { g }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g ClickGraph {
+        self.g
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.g.n_nodes()
+    }
+
+    /// Degree of flat node `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.g.degree(self.node_ref(u))
+    }
+
+    /// Sum of all degrees (= 2·|E|).
+    pub fn total_volume(&self) -> usize {
+        2 * self.g.n_edges()
+    }
+
+    /// The [`NodeRef`] of flat index `u`.
+    pub fn node_ref(&self, u: usize) -> NodeRef {
+        NodeRef::from_flat_index(u, self.g.n_queries())
+    }
+
+    /// The flat index of `node`.
+    pub fn flat_index(&self, node: NodeRef) -> usize {
+        node.flat_index(self.g.n_queries())
+    }
+
+    /// Calls `f` with each neighbor (as a flat index) of flat node `u`.
+    pub fn for_each_neighbor(&self, u: usize, mut f: impl FnMut(usize)) {
+        let nq = self.g.n_queries();
+        if u < nq {
+            let (ads, _) = self.g.ads_of(QueryId(u as u32));
+            for &a in ads {
+                f(nq + a.index());
+            }
+        } else {
+            let (qs, _) = self.g.queries_of(AdId((u - nq) as u32));
+            for &q in qs {
+                f(q.index());
+            }
+        }
+    }
+
+    /// Collects the neighbors of `u` as flat indices.
+    pub fn neighbors(&self, u: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.degree(u));
+        self.for_each_neighbor(u, |v| out.push(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::fixtures::figure3_graph;
+
+    #[test]
+    fn flat_indexing_roundtrip() {
+        let g = figure3_graph();
+        let v = FlatView::new(&g);
+        for u in 0..v.n_nodes() {
+            assert_eq!(v.flat_index(v.node_ref(u)), u);
+        }
+    }
+
+    #[test]
+    fn degrees_match_graph() {
+        let g = figure3_graph();
+        let v = FlatView::new(&g);
+        let camera = g.query_by_name("camera").unwrap();
+        assert_eq!(v.degree(camera.index()), 2);
+        assert_eq!(v.total_volume(), 2 * g.n_edges());
+    }
+
+    #[test]
+    fn neighbors_cross_sides() {
+        let g = figure3_graph();
+        let v = FlatView::new(&g);
+        let nq = g.n_queries();
+        let pc = g.query_by_name("pc").unwrap().index();
+        let nbrs = v.neighbors(pc);
+        assert_eq!(nbrs.len(), 1);
+        assert!(nbrs[0] >= nq, "pc's neighbor must be an ad-side flat index");
+        // And the ad's neighbors come back to the query side.
+        let back = v.neighbors(nbrs[0]);
+        assert!(back.contains(&pc));
+    }
+
+    #[test]
+    fn neighbor_counts_sum_to_volume() {
+        let g = figure3_graph();
+        let v = FlatView::new(&g);
+        let total: usize = (0..v.n_nodes()).map(|u| v.neighbors(u).len()).sum();
+        assert_eq!(total, v.total_volume());
+    }
+}

@@ -1,0 +1,129 @@
+//! Global PageRank by power iteration.
+//!
+//! Used by the extraction driver to pick well-connected seeds ("we started
+//! from different nodes", §9.2 — we start from the highest-PageRank nodes
+//! not yet assigned to a subgraph). Standard damped uniform-teleport
+//! PageRank on the undirected flat view; dangling (isolated) mass is
+//! redistributed uniformly.
+
+#![allow(clippy::needless_range_loop)] // index loops touch parallel arrays
+
+use crate::flat::FlatView;
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PagerankConfig {
+    /// Damping factor (probability of following an edge).
+    pub damping: f64,
+    /// Maximum power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for PagerankConfig {
+    fn default() -> Self {
+        PagerankConfig {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Computes the PageRank vector over the flat node space (sums to 1).
+pub fn pagerank(view: &FlatView<'_>, config: &PagerankConfig) -> Vec<f64> {
+    let n = view.n_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..config.max_iterations {
+        next.fill(0.0);
+        let mut dangling = 0.0f64;
+        for u in 0..n {
+            let d = view.degree(u);
+            if d == 0 {
+                dangling += rank[u];
+                continue;
+            }
+            let share = rank[u] / d as f64;
+            view.for_each_neighbor(u, |v| next[v] += share);
+        }
+        let teleport = (1.0 - config.damping) * uniform + config.damping * dangling * uniform;
+        let mut delta = 0.0f64;
+        for u in 0..n {
+            let value = teleport + config.damping * next[u];
+            delta += (value - rank[u]).abs();
+            next[u] = value;
+        }
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::fixtures::{complete_bipartite, figure3_graph};
+    use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+
+    #[test]
+    fn sums_to_one() {
+        let g = figure3_graph();
+        let view = FlatView::new(&g);
+        let pr = pagerank(&view, &PagerankConfig::default());
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        assert!(pr.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn symmetric_graph_uniform_rank() {
+        // K_{3,3} is vertex-transitive per side with equal degrees on both
+        // sides → all nodes have equal PageRank.
+        let g = complete_bipartite(3, 3, EdgeData::from_clicks(1));
+        let view = FlatView::new(&g);
+        let pr = pagerank(&view, &PagerankConfig::default());
+        for &v in &pr {
+            assert!((v - pr[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_degree_nodes_rank_higher() {
+        let g = figure3_graph();
+        let view = FlatView::new(&g);
+        let pr = pagerank(&view, &PagerankConfig::default());
+        let nq = g.n_queries();
+        let hp = nq + g.ad_by_name("hp.com").unwrap().index(); // degree 3
+        let teleflora = nq + g.ad_by_name("teleflora.com").unwrap().index(); // degree 1
+        assert!(pr[hp] > pr[teleflora]);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_teleport_mass() {
+        let mut b = ClickGraphBuilder::new();
+        b.reserve_queries(3); // query 2 is isolated
+        b.add_edge(simrankpp_graph::QueryId(0), simrankpp_graph::AdId(0), EdgeData::from_clicks(1));
+        b.add_edge(simrankpp_graph::QueryId(1), simrankpp_graph::AdId(0), EdgeData::from_clicks(1));
+        let g = b.build();
+        let view = FlatView::new(&g);
+        let pr = pagerank(&view, &PagerankConfig::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[2] > 0.0, "isolated node must retain teleport mass");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ClickGraphBuilder::new().build();
+        let view = FlatView::new(&g);
+        assert!(pagerank(&view, &PagerankConfig::default()).is_empty());
+    }
+}

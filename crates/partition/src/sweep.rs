@@ -1,0 +1,210 @@
+//! Conductance and the sweep cut.
+//!
+//! §9.2 footnote: the conductance of a cut `S` measures how hard it is to
+//! leave `S` — `Φ(S) = cut(S) / min(vol(S), vol(V∖S))` where `vol` sums
+//! degrees and `cut` counts boundary edges. The ACL method sorts nodes by
+//! `p(u)/d(u)` and scans prefixes, returning the prefix with the smallest
+//! conductance.
+
+use crate::flat::FlatView;
+use simrankpp_util::FxHashMap;
+
+/// Outcome of a sweep-cut search.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The chosen node set (flat indices).
+    pub set: Vec<usize>,
+    /// Its conductance.
+    pub conductance: f64,
+    /// Its volume (sum of degrees).
+    pub volume: usize,
+}
+
+/// Conductance of `set` (flat indices) within the whole graph. Returns 1.0
+/// for empty or total sets (no meaningful cut).
+pub fn conductance(view: &FlatView<'_>, set: &[usize]) -> f64 {
+    if set.is_empty() {
+        return 1.0;
+    }
+    let member: FxHashMap<usize, ()> = set.iter().map(|&u| (u, ())).collect();
+    let mut vol = 0usize;
+    let mut cut = 0usize;
+    for &u in set {
+        vol += view.degree(u);
+        view.for_each_neighbor(u, |v| {
+            if !member.contains_key(&v) {
+                cut += 1;
+            }
+        });
+    }
+    let total = view.total_volume();
+    let other = total.saturating_sub(vol);
+    let denom = vol.min(other);
+    if denom == 0 {
+        return 1.0;
+    }
+    cut as f64 / denom as f64
+}
+
+/// Sweep cut over a sparse PPR vector: scan prefixes of nodes ordered by
+/// `p(u)/d(u)` descending and keep the best-conductance prefix whose size is
+/// in `[min_size, max_size]` (`max_size == 0` = unbounded).
+///
+/// An incremental volume/cut update makes the scan `O(vol(support))`.
+pub fn sweep_cut(
+    view: &FlatView<'_>,
+    ppr: &FxHashMap<usize, f64>,
+    min_size: usize,
+    max_size: usize,
+) -> Option<SweepResult> {
+    if ppr.is_empty() {
+        return None;
+    }
+    let mut order: Vec<(usize, f64)> = ppr
+        .iter()
+        .filter(|&(&u, _)| view.degree(u) > 0)
+        .map(|(&u, &p)| (u, p / view.degree(u) as f64))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    let total = view.total_volume();
+    let mut in_set: FxHashMap<usize, ()> = FxHashMap::default();
+    let mut vol = 0usize;
+    let mut cut = 0i64;
+    let mut best: Option<(usize, f64, usize)> = None; // (prefix len, Φ, vol)
+
+    for (idx, &(u, _)) in order.iter().enumerate() {
+        let d = view.degree(u);
+        vol += d;
+        // Adding u: edges to outside increase cut; edges to inside remove
+        // previously-counted boundary edges (one per internal edge).
+        let mut internal = 0i64;
+        view.for_each_neighbor(u, |v| {
+            if in_set.contains_key(&v) {
+                internal += 1;
+            }
+        });
+        cut += d as i64 - 2 * internal;
+        in_set.insert(u, ());
+
+        let size = idx + 1;
+        if size < min_size {
+            continue;
+        }
+        if max_size > 0 && size > max_size {
+            break;
+        }
+        let other = total.saturating_sub(vol);
+        let denom = vol.min(other);
+        if denom == 0 {
+            continue;
+        }
+        let phi = cut as f64 / denom as f64;
+        if best.map(|(_, b, _)| phi < b).unwrap_or(true) {
+            best = Some((size, phi, vol));
+        }
+    }
+
+    best.map(|(len, phi, vol)| SweepResult {
+        set: order[..len].iter().map(|&(u, _)| u).collect(),
+        conductance: phi,
+        volume: vol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppr::{approximate_ppr, PprConfig};
+    use simrankpp_graph::fixtures::figure3_graph;
+    use simrankpp_graph::{ClickGraphBuilder, EdgeData, QueryId, AdId};
+
+    /// Two K_{3,3} blocks joined by a single bridge edge.
+    fn two_communities() -> simrankpp_graph::ClickGraph {
+        let mut b = ClickGraphBuilder::new();
+        for q in 0..3u32 {
+            for a in 0..3u32 {
+                b.add_edge(QueryId(q), AdId(a), EdgeData::from_clicks(1));
+                b.add_edge(QueryId(q + 3), AdId(a + 3), EdgeData::from_clicks(1));
+            }
+        }
+        b.add_edge(QueryId(0), AdId(3), EdgeData::from_clicks(1)); // bridge
+        b.build()
+    }
+
+    #[test]
+    fn conductance_of_perfect_community() {
+        let g = two_communities();
+        let view = FlatView::new(&g);
+        let nq = g.n_queries();
+        // Community 1 = queries 0..3 + ads 0..3 (flat: ads offset by nq).
+        let set: Vec<usize> = (0..3).chain(nq..nq + 3).collect();
+        let phi = conductance(&view, &set);
+        // One boundary edge (the bridge), volume 19 vs 19.
+        assert!((phi - 1.0 / 19.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn conductance_edge_cases() {
+        let g = figure3_graph();
+        let view = FlatView::new(&g);
+        assert_eq!(conductance(&view, &[]), 1.0);
+        let all: Vec<usize> = (0..view.n_nodes()).collect();
+        assert_eq!(conductance(&view, &all), 1.0);
+    }
+
+    #[test]
+    fn sweep_finds_the_planted_community() {
+        let g = two_communities();
+        let view = FlatView::new(&g);
+        let (p, _) = approximate_ppr(
+            &view,
+            1, // seed inside community 1 (query 1, not the bridge node)
+            &PprConfig {
+                epsilon: 1e-8,
+                ..PprConfig::default()
+            },
+            None,
+        );
+        let result = sweep_cut(&view, &p, 2, 0).expect("sweep must find a cut");
+        // The best cut is exactly community 1 (6 nodes, Φ = 1/19).
+        assert_eq!(result.set.len(), 6, "set = {:?}", result.set);
+        assert!((result.conductance - 1.0 / 19.0).abs() < 1e-12);
+        let nq = g.n_queries();
+        let mut set = result.set.clone();
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 1, 2, nq, nq + 1, nq + 2]);
+    }
+
+    #[test]
+    fn sweep_conductance_matches_direct_computation() {
+        let g = two_communities();
+        let view = FlatView::new(&g);
+        let (p, _) = approximate_ppr(&view, 1, &PprConfig::default(), None);
+        if let Some(r) = sweep_cut(&view, &p, 1, 0) {
+            let direct = conductance(&view, &r.set);
+            assert!(
+                (r.conductance - direct).abs() < 1e-12,
+                "incremental {} vs direct {direct}",
+                r.conductance
+            );
+        }
+    }
+
+    #[test]
+    fn size_bounds_respected() {
+        let g = two_communities();
+        let view = FlatView::new(&g);
+        let (p, _) = approximate_ppr(&view, 1, &PprConfig::default(), None);
+        let r = sweep_cut(&view, &p, 3, 4).unwrap();
+        assert!(r.set.len() >= 3 && r.set.len() <= 4);
+    }
+
+    #[test]
+    fn empty_ppr_gives_none() {
+        let g = figure3_graph();
+        let view = FlatView::new(&g);
+        let empty = FxHashMap::default();
+        assert!(sweep_cut(&view, &empty, 1, 0).is_none());
+    }
+}

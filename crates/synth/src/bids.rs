@@ -1,0 +1,83 @@
+//! Bid-database simulation (§9.3's bid-term filter list).
+//!
+//! "We remove queries that are not in a list of all queries that saw bids in
+//! the two-week period." Advertisers bid preferentially on high-traffic
+//! queries, so bid probability increases with popularity.
+
+#![allow(clippy::needless_range_loop)] // index loops touch parallel arrays
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simrankpp_graph::QueryId;
+use simrankpp_util::FxHashSet;
+
+/// Assigns bids: query `q` carries a bid with probability
+/// `bid_rate · (0.4 + 0.6 · quantile(popularity))`, so the most popular
+/// queries bid at `bid_rate` and the least popular at `0.4·bid_rate`.
+pub fn assign_bids(
+    popularity: &[f64],
+    bid_rate: f64,
+    rng: &mut SmallRng,
+) -> FxHashSet<QueryId> {
+    let n = popularity.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| popularity[a].partial_cmp(&popularity[b]).unwrap());
+    // rank_quantile[q] in [0,1]; 1 = most popular.
+    let mut quantile = vec![0.0f64; n];
+    for (i, &q) in order.iter().enumerate() {
+        quantile[q] = if n > 1 { i as f64 / (n - 1) as f64 } else { 1.0 };
+    }
+    let mut bids = FxHashSet::default();
+    for q in 0..n {
+        let p = (bid_rate * (0.4 + 0.6 * quantile[q])).clamp(0.0, 1.0);
+        if rng.gen_bool(p) {
+            bids.insert(QueryId(q as u32));
+        }
+    }
+    bids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popular_queries_bid_more() {
+        let n = 4000;
+        let popularity: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).powf(-1.0)).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let bids = assign_bids(&popularity, 0.6, &mut rng);
+        let top: usize = (0..n / 10)
+            .filter(|&q| bids.contains(&QueryId(q as u32)))
+            .count();
+        let bottom: usize = (n - n / 10..n)
+            .filter(|&q| bids.contains(&QueryId(q as u32)))
+            .count();
+        assert!(
+            top > bottom,
+            "top decile bids {top} should exceed bottom decile {bottom}"
+        );
+    }
+
+    #[test]
+    fn rates_bounded() {
+        let popularity = vec![1.0, 0.5, 0.1];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let bids = assign_bids(&popularity, 1.0, &mut rng);
+        assert!(bids.len() <= 3);
+    }
+
+    #[test]
+    fn zero_rate_no_bids() {
+        let popularity = vec![1.0; 100];
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(assign_bids(&popularity, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(assign_bids(&[], 0.5, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Position-biased click simulation (§2's three edge weights).
+//!
+//! The paper's expected click rate is "an adjusted clicks over impressions
+//! rate" that corrects for display position. We use the standard
+//! examination model: the probability a user examines the ad at position
+//! `p` (0-based) decays geometrically, and a click happens when the ad is
+//! examined *and* relevant:
+//!
+//! ```text
+//! P(click | shown at p) = examination(p) · relevance
+//! examination(p)        = γ^p
+//! ```
+//!
+//! The back-end's ECR estimator then divides the observed click-through by
+//! the examination probability of the position the ad was shown at, which
+//! recovers `relevance` in expectation — exactly the quantity §8's weighted
+//! SimRank wants as its edge weight.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simrankpp_graph::EdgeData;
+
+/// Position-bias click model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClickModel {
+    /// Per-position examination decay γ ∈ (0, 1].
+    pub position_decay: f64,
+}
+
+impl Default for ClickModel {
+    fn default() -> Self {
+        ClickModel {
+            position_decay: 0.65,
+        }
+    }
+}
+
+impl ClickModel {
+    /// Examination probability of 0-based position `p`.
+    pub fn examination(&self, position: usize) -> f64 {
+        self.position_decay.powi(position as i32)
+    }
+
+    /// Simulates `impressions` displays of an ad with `relevance` at
+    /// `position`, returning the §2 edge weights. The ECR is the
+    /// position-adjusted click-through (clamped to [0, 1]).
+    pub fn simulate_edge(
+        &self,
+        impressions: u64,
+        relevance: f64,
+        position: usize,
+        rng: &mut SmallRng,
+    ) -> EdgeData {
+        let p_click = (self.examination(position) * relevance).clamp(0.0, 1.0);
+        let clicks = binomial(impressions, p_click, rng);
+        let exam = self.examination(position).max(1e-9);
+        let raw_ctr = if impressions > 0 {
+            clicks as f64 / impressions as f64
+        } else {
+            0.0
+        };
+        let ecr = (raw_ctr / exam).clamp(0.0, 1.0);
+        EdgeData {
+            impressions,
+            clicks,
+            expected_click_rate: ecr,
+        }
+    }
+}
+
+/// Samples Binomial(n, p): exact Bernoulli loop for small `n`, normal
+/// approximation (clamped) for large `n` — adequate for workload synthesis.
+pub fn binomial(n: u64, p: f64, rng: &mut SmallRng) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        let mut c = 0u64;
+        for _ in 0..n {
+            if rng.gen_bool(p) {
+                c += 1;
+            }
+        }
+        return c;
+    }
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    // Box-Muller.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + sd * z).round().clamp(0.0, n as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn examination_decays() {
+        let m = ClickModel::default();
+        assert_eq!(m.examination(0), 1.0);
+        assert!(m.examination(1) < 1.0);
+        assert!(m.examination(3) < m.examination(1));
+    }
+
+    #[test]
+    fn simulated_edge_respects_invariants() {
+        let m = ClickModel::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for pos in 0..5 {
+            let e = m.simulate_edge(500, 0.4, pos, &mut rng);
+            assert!(e.clicks <= e.impressions);
+            assert!((0.0..=1.0).contains(&e.expected_click_rate));
+        }
+    }
+
+    #[test]
+    fn ecr_recovers_relevance_in_expectation() {
+        // Averaged over many simulations, ECR ≈ relevance regardless of
+        // position — that is the whole point of the adjustment.
+        let m = ClickModel::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for position in [0usize, 2, 4] {
+            let relevance = 0.3;
+            let mut total = 0.0;
+            let runs = 400;
+            for _ in 0..runs {
+                total += m
+                    .simulate_edge(2000, relevance, position, &mut rng)
+                    .expected_click_rate;
+            }
+            let mean = total / runs as f64;
+            assert!(
+                (mean - relevance).abs() < 0.02,
+                "position {position}: mean ECR {mean} vs relevance {relevance}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_positions_get_fewer_clicks() {
+        let m = ClickModel::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let top: u64 = (0..200)
+            .map(|_| m.simulate_edge(100, 0.5, 0, &mut rng).clicks)
+            .sum();
+        let low: u64 = (0..200)
+            .map(|_| m.simulate_edge(100, 0.5, 4, &mut rng).clicks)
+            .sum();
+        assert!(top > low * 2, "top {top} vs low {low}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(binomial(10, 1.0, &mut rng), 10);
+        let x = binomial(1000, 0.25, &mut rng);
+        assert!(x <= 1000);
+    }
+
+    #[test]
+    fn binomial_mean_is_np() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for (n, p) in [(40u64, 0.3), (5000u64, 0.1)] {
+            let runs = 2000;
+            let total: u64 = (0..runs).map(|_| binomial(n, p, &mut rng)).sum();
+            let mean = total as f64 / runs as f64;
+            let expect = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                (mean - expect).abs() < 4.0 * sd / (runs as f64).sqrt() + 0.5,
+                "n={n}, p={p}: mean {mean} vs {expect}"
+            );
+        }
+    }
+}

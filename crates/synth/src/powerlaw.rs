@@ -1,0 +1,151 @@
+//! Power-law / Zipf samplers.
+//!
+//! §9.2: "We also observed a number of power-law distributions, including
+//! ads-per-query, queries-per-ad and number of clicks per query-ad pair."
+//! The generator needs cheap deterministic heavy-tailed samplers.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `1..=n` using precomputed cumulative
+/// weights (O(log n) per sample by binary search).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `alpha > 0`
+    /// (`P(rank k) ∝ k^(−alpha)`).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-alpha);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when there are no ranks (never: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0-based; rank 0 is the most probable).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// The probability of rank `k` (0-based).
+    pub fn probability(&self, k: usize) -> f64 {
+        let total = *self.cumulative.last().unwrap();
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        (self.cumulative[k] - prev) / total
+    }
+}
+
+/// Samples a heavy-tailed positive integer via the discrete inverse-CDF of
+/// a bounded Pareto: `P(X ≥ x) ∝ x^(1−alpha)` on `[min, max]`.
+pub fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, min: u64, max: u64) -> u64 {
+    assert!(min >= 1 && max >= min && alpha > 1.0);
+    let u: f64 = rng.gen();
+    let (lo, hi) = (min as f64, max as f64 + 1.0);
+    let a = 1.0 - alpha;
+    // Inverse CDF of the continuous bounded Pareto, then floor.
+    let x = ((hi.powf(a) - lo.powf(a)) * u + lo.powf(a)).powf(1.0 / a);
+    (x.floor() as u64).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_probable() {
+        let z = ZipfSampler::new(50, 1.5);
+        for k in 1..50 {
+            assert!(z.probability(0) >= z.probability(k));
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_tracks_zipf() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..10 {
+            let expect = z.probability(k);
+            let got = counts[k] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "rank {k}: empirical {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(7, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let x = bounded_pareto(&mut rng, 2.2, 1, 500);
+            assert!((1..=500).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // Most mass near the minimum, but the tail is populated.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| bounded_pareto(&mut rng, 2.0, 1, 1000))
+            .collect();
+        let ones = samples.iter().filter(|&&x| x == 1).count();
+        let big = samples.iter().filter(|&&x| x > 100).count();
+        assert!(ones > samples.len() / 3, "mode should be at the minimum");
+        assert!(big > 0, "tail should be reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zipf_rejects_bad_alpha() {
+        ZipfSampler::new(10, 0.0);
+    }
+}

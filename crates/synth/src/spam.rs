@@ -1,0 +1,155 @@
+//! Click-spam injection (§11: "Spam clicks can mislead our techniques and
+//! thus spam-resistant variations of our techniques would be useful").
+//!
+//! A click-fraud campaign makes one (spam) ad appear clicked from many
+//! unrelated queries, which fabricates similarity paths between queries
+//! that share nothing but the spammer. The `spam_robustness` bench measures
+//! how much each SimRank variant's rewrite precision degrades as campaigns
+//! are injected — the experiment the paper leaves as future work.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrankpp_graph::{AdId, ClickGraph, ClickGraphBuilder, EdgeData, QueryId};
+
+/// One spam campaign's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SpamConfig {
+    /// Number of fraudulent ads to create.
+    pub n_spam_ads: usize,
+    /// Queries that each spam ad is made to appear clicked from.
+    pub queries_per_ad: usize,
+    /// Fabricated clicks per (query, spam-ad) edge.
+    pub clicks_per_edge: u64,
+    /// RNG seed for target selection.
+    pub seed: u64,
+}
+
+impl Default for SpamConfig {
+    fn default() -> Self {
+        SpamConfig {
+            n_spam_ads: 2,
+            queries_per_ad: 30,
+            clicks_per_edge: 50,
+            seed: 0x5BA4,
+        }
+    }
+}
+
+/// Returns a copy of `g` with spam campaigns injected, plus the ids of the
+/// spam ads. Requires a named graph (spam ads get `spam-N.example` names).
+pub fn inject_click_spam(g: &ClickGraph, config: &SpamConfig) -> (ClickGraph, Vec<AdId>) {
+    assert!(
+        g.query_interner().is_some() && g.ad_interner().is_some(),
+        "spam injection requires a named graph"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = ClickGraphBuilder::new();
+    // Rebuild the original graph (names preserved, ids preserved because we
+    // intern in id order).
+    for q in g.queries() {
+        b.intern_query(g.query_name(q).unwrap());
+    }
+    for a in g.ads() {
+        b.intern_ad(g.ad_name(a).unwrap());
+    }
+    for (q, a, e) in g.edges() {
+        b.add_edge(q, a, *e);
+    }
+
+    let n_q = g.n_queries();
+    let mut spam_ads = Vec::with_capacity(config.n_spam_ads);
+    for s in 0..config.n_spam_ads {
+        let ad = b.intern_ad(&format!("spam-{s}.example"));
+        spam_ads.push(ad);
+        let mut hit = std::collections::HashSet::new();
+        let mut guard = 0;
+        while hit.len() < config.queries_per_ad.min(n_q) && guard < n_q * 4 {
+            guard += 1;
+            let q = rng.gen_range(0..n_q) as u32;
+            if hit.insert(q) {
+                // Fraudulent clicks: high CTR, uniform across queries.
+                b.add_edge(
+                    QueryId(q),
+                    ad,
+                    EdgeData::new(
+                        config.clicks_per_edge * 2,
+                        config.clicks_per_edge,
+                        0.5,
+                    ),
+                );
+            }
+        }
+    }
+    let spammed = b.build();
+    debug_assert!(spammed.validate().is_ok());
+    (spammed, spam_ads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn spam_preserves_original_edges() {
+        let d = generate(&GeneratorConfig::tiny());
+        let (spammed, spam_ads) = inject_click_spam(&d.graph, &SpamConfig::default());
+        assert_eq!(spammed.n_queries(), d.graph.n_queries());
+        assert_eq!(spammed.n_ads(), d.graph.n_ads() + spam_ads.len());
+        for (q, a, e) in d.graph.edges() {
+            let q2 = spammed.query_by_name(d.graph.query_name(q).unwrap()).unwrap();
+            let a2 = spammed.ad_by_name(d.graph.ad_name(a).unwrap()).unwrap();
+            assert_eq!(spammed.edge(q2, a2), Some(e));
+        }
+    }
+
+    #[test]
+    fn spam_ads_have_wide_reach() {
+        let d = generate(&GeneratorConfig::tiny());
+        let config = SpamConfig {
+            queries_per_ad: 20,
+            ..SpamConfig::default()
+        };
+        let (spammed, spam_ads) = inject_click_spam(&d.graph, &config);
+        for ad in spam_ads {
+            assert_eq!(spammed.ad_degree(ad), 20);
+        }
+    }
+
+    #[test]
+    fn spam_fabricates_similarity_paths() {
+        // Queries connected only through the spam ad become 1-hop related.
+        let d = generate(&GeneratorConfig::tiny());
+        let (spammed, spam_ads) = inject_click_spam(
+            &d.graph,
+            &SpamConfig {
+                n_spam_ads: 1,
+                queries_per_ad: 10,
+                ..SpamConfig::default()
+            },
+        );
+        let (victims, _) = spammed.queries_of(spam_ads[0]);
+        assert!(victims.len() >= 2);
+        // At least one victim pair had no common ad before spam.
+        let mut fabricated = false;
+        'outer: for (i, &v1) in victims.iter().enumerate() {
+            for &v2 in &victims[i + 1..] {
+                let o1 = d.graph.query_by_name(spammed.query_name(v1).unwrap()).unwrap();
+                let o2 = d.graph.query_by_name(spammed.query_name(v2).unwrap()).unwrap();
+                if d.graph.common_ads(o1, o2) == 0 {
+                    fabricated = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(fabricated, "spam should connect previously-unrelated queries");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = generate(&GeneratorConfig::tiny());
+        let (a, _) = inject_click_spam(&d.graph, &SpamConfig::default());
+        let (b, _) = inject_click_spam(&d.graph, &SpamConfig::default());
+        assert_eq!(a.n_edges(), b.n_edges());
+    }
+}

@@ -1,0 +1,111 @@
+//! Live-traffic query sampling (§9.2's evaluation-set procedure).
+//!
+//! "The query set for evaluation is sampled, with uniform probability, from
+//! live traffic during the same two-weeks period" — sampling from *traffic*
+//! makes a query's selection probability proportional to its frequency, so
+//! "queries issued rarely had a smaller probability of appearing in the
+//! evaluation set". We reproduce that with popularity-weighted sampling
+//! without replacement (Efraimidis–Spirakis A-Res keys).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simrankpp_graph::QueryId;
+
+/// Samples `n` distinct queries with probability proportional to
+/// `popularity`, without replacement. Queries with non-positive popularity
+/// are never selected.
+pub fn sample_eval_queries(
+    popularity: &[f64],
+    n: usize,
+    rng: &mut SmallRng,
+) -> Vec<QueryId> {
+    // A-Res: key = u^(1/w); take the n largest keys.
+    let mut keyed: Vec<(f64, u32)> = popularity
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(q, &w)| {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            (u.powf(1.0 / w), q as u32)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    keyed.truncate(n);
+    keyed.into_iter().map(|(_, q)| QueryId(q)).collect()
+}
+
+/// Keeps only the sampled queries that exist (with ≥ 1 edge) in the
+/// evaluation graph — the paper's 1200 → 120 reduction step. The `resolve`
+/// closure maps a parent query to its subgraph id, if present.
+pub fn restrict_to_graph(
+    sample: &[QueryId],
+    mut resolve: impl FnMut(QueryId) -> Option<QueryId>,
+) -> Vec<(QueryId, QueryId)> {
+    sample
+        .iter()
+        .filter_map(|&q| resolve(q).map(|sub| (q, sub)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_distinct_and_sized() {
+        let pop: Vec<f64> = (0..500).map(|i| (i as f64 + 1.0).powf(-1.0)).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sample_eval_queries(&pop, 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn popular_queries_sampled_more_often() {
+        let pop: Vec<f64> = (0..200).map(|i| (i as f64 + 1.0).powf(-1.2)).collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut top_hits = 0usize;
+        let mut bottom_hits = 0usize;
+        for _ in 0..300 {
+            let s = sample_eval_queries(&pop, 20, &mut rng);
+            top_hits += s.iter().filter(|q| q.index() < 20).count();
+            bottom_hits += s.iter().filter(|q| q.index() >= 180).count();
+        }
+        assert!(
+            top_hits > bottom_hits * 2,
+            "top {top_hits} vs bottom {bottom_hits}"
+        );
+    }
+
+    #[test]
+    fn requesting_more_than_available_returns_all() {
+        let pop = vec![1.0, 2.0, 3.0];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = sample_eval_queries(&pop, 10, &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn zero_popularity_never_sampled() {
+        let pop = vec![0.0, 1.0, 0.0, 1.0];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = sample_eval_queries(&pop, 4, &mut rng);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|q| q.index() == 1 || q.index() == 3));
+    }
+
+    #[test]
+    fn restrict_keeps_resolvable_queries() {
+        let sample = vec![QueryId(0), QueryId(1), QueryId(2)];
+        let resolved = restrict_to_graph(&sample, |q| {
+            if q.index() % 2 == 0 {
+                Some(QueryId(q.0 / 2))
+            } else {
+                None
+            }
+        });
+        assert_eq!(resolved, vec![(QueryId(0), QueryId(0)), (QueryId(2), QueryId(1))]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Stem-based duplicate filtering of rewrite candidates (§9.3).
+//!
+//! Two queries are considered duplicates when their stemmed token multisets
+//! are equal — "digital cameras" duplicates "digital camera", and
+//! "camera digital" duplicates both (word order does not change ad intent
+//! for bid matching). The [`StemDeduper`] keeps the first occurrence.
+
+use crate::normalize::normalize_query;
+use crate::tokenize::stemmed_tokens;
+use simrankpp_util::FxHashSet;
+
+/// Canonical signature of a query: sorted, stemmed tokens joined by spaces.
+///
+/// Equal signatures ⇔ duplicate queries under the §9.3 stemming filter.
+pub fn stem_signature(query: &str) -> String {
+    let normalized = normalize_query(query);
+    let mut stems = stemmed_tokens(&normalized);
+    stems.sort_unstable();
+    stems.join(" ")
+}
+
+/// Streaming duplicate filter over rewrite candidates.
+#[derive(Debug, Default)]
+pub struct StemDeduper {
+    seen: FxHashSet<String>,
+}
+
+impl StemDeduper {
+    /// Creates an empty deduper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a deduper with `query`'s own signature pre-seeded, so the
+    /// original query never survives as its own rewrite.
+    pub fn seeded_with(query: &str) -> Self {
+        let mut d = Self::new();
+        d.seen.insert(stem_signature(query));
+        d
+    }
+
+    /// Returns `true` (and records the signature) if `candidate` is new;
+    /// `false` if it duplicates anything seen before.
+    pub fn admit(&mut self, candidate: &str) -> bool {
+        self.seen.insert(stem_signature(candidate))
+    }
+
+    /// Number of distinct signatures seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// `true` if nothing has been admitted or seeded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_collapses_inflection() {
+        assert_eq!(stem_signature("digital camera"), stem_signature("digital cameras"));
+        assert_eq!(stem_signature("running shoe"), stem_signature("running shoes"));
+    }
+
+    #[test]
+    fn signature_is_order_insensitive() {
+        assert_eq!(stem_signature("camera digital"), stem_signature("digital camera"));
+    }
+
+    #[test]
+    fn distinct_queries_have_distinct_signatures() {
+        assert_ne!(stem_signature("camera"), stem_signature("digital camera"));
+        assert_ne!(stem_signature("pc"), stem_signature("tv"));
+    }
+
+    #[test]
+    fn deduper_admits_first_only() {
+        let mut d = StemDeduper::new();
+        assert!(d.admit("digital camera"));
+        assert!(!d.admit("digital cameras"));
+        assert!(!d.admit("cameras digital"));
+        assert!(d.admit("camera"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn seeded_blocks_the_original_query() {
+        let mut d = StemDeduper::seeded_with("flowers");
+        assert!(!d.admit("flower"));
+        assert!(d.admit("orchids"));
+    }
+
+    #[test]
+    fn normalization_applies_before_stemming() {
+        assert_eq!(stem_signature("Digital, CAMERAS!"), stem_signature("digital camera"));
+    }
+}

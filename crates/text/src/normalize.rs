@@ -1,0 +1,93 @@
+//! Query normalization.
+//!
+//! Canonicalizes raw query strings before graph construction and before
+//! stem-dedup: Unicode-aware lowercasing, punctuation stripped to spaces
+//! (keeping intra-word hyphens and digits), and whitespace collapsed.
+
+/// Normalizes a raw query string.
+///
+/// * lowercases;
+/// * maps punctuation (except `-` between alphanumerics) to spaces;
+/// * collapses runs of whitespace to single spaces and trims.
+pub fn normalize_query(raw: &str) -> String {
+    let lower = raw.to_lowercase();
+    let chars: Vec<char> = lower.chars().collect();
+    let mut out = String::with_capacity(lower.len());
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_alphanumeric() {
+            out.push(c);
+        } else if c == '-'
+            && i > 0
+            && i + 1 < chars.len()
+            && chars[i - 1].is_alphanumeric()
+            && chars[i + 1].is_alphanumeric()
+        {
+            out.push('-');
+        } else {
+            out.push(' ');
+        }
+    }
+    // Collapse whitespace.
+    let mut collapsed = String::with_capacity(out.len());
+    let mut last_space = true;
+    for c in out.chars() {
+        if c == ' ' {
+            if !last_space {
+                collapsed.push(' ');
+            }
+            last_space = true;
+        } else {
+            collapsed.push(c);
+            last_space = false;
+        }
+    }
+    while collapsed.ends_with(' ') {
+        collapsed.pop();
+    }
+    collapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize_query("Digital CAMERA"), "digital camera");
+    }
+
+    #[test]
+    fn strips_punctuation() {
+        assert_eq!(normalize_query("camera, digital!"), "camera digital");
+        assert_eq!(normalize_query("\"best\" camera?"), "best camera");
+    }
+
+    #[test]
+    fn keeps_intra_word_hyphens() {
+        assert_eq!(normalize_query("i-tunes"), "i-tunes");
+        assert_eq!(normalize_query("- leading"), "leading");
+        assert_eq!(normalize_query("trailing -"), "trailing");
+        assert_eq!(normalize_query("a - b"), "a b");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(normalize_query("  digital \t camera \n"), "digital camera");
+        assert_eq!(normalize_query(""), "");
+        assert_eq!(normalize_query("   "), "");
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(normalize_query("mp3 player"), "mp3 player");
+        assert_eq!(normalize_query("nikon d700!"), "nikon d700");
+    }
+
+    #[test]
+    fn idempotent() {
+        for raw in ["Digital CAMERA", "i-tunes", " a  b ", "mp3, player"] {
+            let once = normalize_query(raw);
+            assert_eq!(normalize_query(&once), once);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The Porter stemming algorithm (M.F. Porter, *An algorithm for suffix
+//! stripping*, Program 14(3), 1980), implemented directly from the paper's
+//! step tables.
+//!
+//! The measure `m` of a word is the number of VC (vowel-consonant) sequences
+//! in its `[C](VC)^m[V]` form. Steps 1a/1b/1c handle plurals and -ed/-ing;
+//! steps 2–4 strip derivational suffixes gated on `m`; step 5 tidies a final
+//! -e and double consonant.
+
+/// Stems a single lowercase ASCII word. Words shorter than 3 characters and
+/// words containing non-ASCII-alphabetic characters are returned unchanged.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("stemmer operates on ASCII")
+}
+
+/// `true` if `w[i]` acts as a consonant (Porter's definition: `y` is a
+/// consonant when at the start or after a vowel-acting character).
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's measure `m` of `w[..len]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // A consonant after vowels closes one VC block.
+        m += 1;
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// `true` if `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// `true` if `w[..len]` ends with a double consonant.
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// `*o`: stem ends consonant-vowel-consonant where the final consonant is
+/// not w, x or y (so "hop" matches, "snow"/"box"/"tray" do not).
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &[u8]) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix
+}
+
+/// Replaces `suffix` with `replacement` if the stem before the suffix has
+/// measure > `min_m`. Returns true if the suffix matched (even if the
+/// condition failed, per Porter's longest-match-then-test rule).
+fn replace_if_measure(w: &mut Vec<u8>, suffix: &[u8], replacement: &[u8], min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        w.truncate(stem_len);
+        w.extend_from_slice(replacement);
+    }
+    true
+}
+
+/// Step 1a: plural endings. SSES→SS, IES→I, SS→SS, S→(drop).
+// The SSES and IES arms are deliberately separate to mirror Porter's rule
+// table one-to-one, even though both truncate two bytes.
+#[allow(clippy::if_same_then_else)]
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, b"sses") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, b"ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, b"ss") {
+        // unchanged
+    } else if ends_with(w, b"s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+/// Step 1b: -eed/-ed/-ing, with the AT/BL/IZ and CVC cleanup.
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, b"eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1); // agreed -> agree
+        }
+        return;
+    }
+    let stripped = if ends_with(w, b"ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, b"ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if !stripped {
+        return;
+    }
+    if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
+        w.push(b'e'); // conflat(ed) -> conflate
+    } else if ends_double_consonant(w, w.len())
+        && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+    {
+        w.truncate(w.len() - 1); // hopp(ing) -> hop
+    } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+        w.push(b'e'); // fil(ing) -> file
+    }
+}
+
+/// Step 1c: Y→I when the stem has a vowel (happy → happi).
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+/// Step 2: double-suffix reductions (m > 0).
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_measure(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+/// Step 3: -icate/-ative/-alize/… reductions (m > 0).
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_measure(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+/// Step 4: strip residual suffixes when m > 1 (with the s/t gate for -ion).
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+    ];
+    // Longest match first: Porter's rules are disjoint except that -ement /
+    // -ment / -ent nest, so test in decreasing length per suffix family.
+    let mut ordered: Vec<&[u8]> = SUFFIXES.to_vec();
+    ordered.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for suffix in ordered {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+    // (m>1 and (*S or *T)) ION ->
+    if ends_with(w, b"ion") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 1
+            && stem_len >= 1
+            && matches!(w[stem_len - 1], b's' | b't')
+        {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+/// Step 5a: drop final -e when m > 1, or when m == 1 and the stem is not *o.
+fn step5a(w: &mut Vec<u8>) {
+    if !ends_with(w, b"e") {
+        return;
+    }
+    let stem_len = w.len() - 1;
+    let m = measure(w, stem_len);
+    if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+        w.truncate(stem_len);
+    }
+}
+
+/// Step 5b: -ll → -l when m > 1 (controll → control).
+fn step5b(w: &mut Vec<u8>) {
+    if w.len() >= 2
+        && w[w.len() - 1] == b'l'
+        && ends_double_consonant(w, w.len())
+        && measure(w, w.len() - 1) > 1
+    {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        for (input, expected) in pairs {
+            assert_eq!(&stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn step1a_plurals() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_ed_ing() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"), // agreed -> agree -> (5a) agre
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"), // conflate -> (5a) conflat
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn step1c_y_to_i() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn step2_derivational() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step3_reductions() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn step4_residual() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step5_final_e_and_ll() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn sponsored_search_vocabulary() {
+        // Query-rewriting relevant behaviour: inflections collapse.
+        check(&[
+            ("cameras", "camera"),
+            ("camera", "camera"),
+            ("flowers", "flower"),
+            ("flower", "flower"),
+            ("running", "run"),
+            ("shoes", "shoe"),
+            ("hotels", "hotel"),
+            ("digital", "digit"),
+        ]);
+        assert_eq!(stem("cameras"), stem("camera"));
+        assert_eq!(stem("flights"), stem("flight"));
+    }
+
+    #[test]
+    fn short_and_non_alpha_words_unchanged() {
+        check(&[("be", "be"), ("a", "a"), ("tv", "tv")]);
+        assert_eq!(stem("mp3"), "mp3");
+        assert_eq!(stem("i-tunes"), "i-tunes");
+        assert_eq!(stem("CAMERA"), "CAMERA"); // caller must lowercase first
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for word in [
+            "camera", "flower", "run", "hotel", "digit", "adjust", "control", "commun",
+            "relat", "depend",
+        ] {
+            let once = stem(word);
+            let twice = stem(&once);
+            assert_eq!(once, twice, "stem must be idempotent on {word:?}");
+        }
+    }
+
+    #[test]
+    fn measure_examples_from_paper() {
+        // Porter's paper: tr=0, ee=0, tree=0, y=0, by=0;
+        // trouble=1, oats=1, trees=1, ivy=1;
+        // troubles=2, private=2, oaten=2, orrery=2.
+        let m = |s: &str| measure(s.as_bytes(), s.len());
+        assert_eq!(m("tr"), 0);
+        assert_eq!(m("ee"), 0);
+        assert_eq!(m("tree"), 0);
+        assert_eq!(m("y"), 0);
+        assert_eq!(m("by"), 0);
+        assert_eq!(m("trouble"), 1);
+        assert_eq!(m("oats"), 1);
+        assert_eq!(m("trees"), 1);
+        assert_eq!(m("ivy"), 1);
+        assert_eq!(m("troubles"), 2);
+        assert_eq!(m("private"), 2);
+        assert_eq!(m("oaten"), 2);
+        assert_eq!(m("orrery"), 2);
+    }
+}

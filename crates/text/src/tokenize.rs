@@ -1,0 +1,45 @@
+//! Whitespace tokenization of normalized queries.
+
+/// Splits a normalized query into word tokens.
+///
+/// Intended to run after [`crate::normalize_query`]; it simply splits on
+/// whitespace and drops empties, so un-normalized input still produces
+/// reasonable tokens.
+pub fn tokenize(query: &str) -> Vec<&str> {
+    query.split_whitespace().collect()
+}
+
+/// Tokenizes and stems every token (lowercasing is assumed done upstream).
+pub fn stemmed_tokens(query: &str) -> Vec<String> {
+    tokenize(query)
+        .into_iter()
+        .map(crate::porter::stem)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words() {
+        assert_eq!(tokenize("digital camera"), vec!["digital", "camera"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn single_token() {
+        assert_eq!(tokenize("pc"), vec!["pc"]);
+    }
+
+    #[test]
+    fn stemmed_tokens_stem_each_word() {
+        assert_eq!(stemmed_tokens("running shoes"), vec!["run", "shoe"]);
+        assert_eq!(stemmed_tokens("digital cameras"), vec!["digit", "camera"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! An FxHash-style hasher.
+//!
+//! This is the same multiply-and-rotate construction used by `rustc-hash`:
+//! low quality by cryptographic standards but extremely fast for the small
+//! integer keys (node ids, pair keys) that dominate this workload. HashDoS
+//! is not a concern — all keys are internally generated dense ids.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Golden-ratio derived odd multiplier (same constant as Firefox / rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_input() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.get(&11), Some(&"eleven"));
+        assert_eq!(m.get(&13), None);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn write_bytes_chunks() {
+        // Byte-stream writes of the same content hash identically.
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world, this is more than eight bytes");
+        b.write(b"hello world, this is more than eight bytes");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn low_collision_on_dense_ids() {
+        // Dense u32 ids should spread across the 64-bit space.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

@@ -1,0 +1,20 @@
+//! Small shared utilities for the Simrank++ reproduction.
+//!
+//! This crate deliberately has no dependencies. It provides:
+//!
+//! * [`fx`] — an FxHash-style fast hasher and `HashMap`/`HashSet` aliases.
+//!   The allowed offline dependency list does not include `rustc-hash`, and
+//!   the algorithm is tiny, so we implement it here (see `DESIGN.md` §4).
+//! * [`topk`] — a bounded min-heap for top-*k* selection by score.
+//! * [`stats`] — online mean/variance (Welford) and small numeric helpers.
+//! * [`pairs`] — canonical symmetric pair keys for score matrices.
+
+pub mod fx;
+pub mod pairs;
+pub mod stats;
+pub mod topk;
+
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pairs::PairKey;
+pub use stats::{population_variance, OnlineStats};
+pub use topk::TopK;

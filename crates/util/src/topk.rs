@@ -1,0 +1,193 @@
+//! Bounded top-*k* selection.
+//!
+//! The rewriter keeps the top 100 candidate rewrites per query (§9.3 of the
+//! paper) before filtering down to 5. A bounded binary min-heap keeps that
+//! O(n log k) instead of sorting all candidates.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry: min-heap on score, with a deterministic id tiebreak
+/// (smaller id preferred on equal score) so results are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry<T> {
+    score: f64,
+    item: T,
+}
+
+impl<T: PartialEq> Eq for Entry<T> {}
+
+impl<T: Ord> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse score order => BinaryHeap (a max-heap) behaves as a min-heap
+        // on score. On ties, *larger* items are "smaller priority" so they are
+        // evicted first, keeping smaller ids.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+impl<T: Ord> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded collection retaining the `k` highest-scoring items.
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T: Ord + Copy> TopK<T> {
+    /// Creates a collector retaining the top `k` items. `k == 0` retains none.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers an item; it is kept only if it ranks within the current top-k.
+    /// NaN scores are ignored.
+    pub fn push(&mut self, item: T, score: f64) {
+        if self.k == 0 || score.is_nan() {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { score, item });
+            return;
+        }
+        // Heap is full: compare with the current minimum (heap peek).
+        if let Some(min) = self.heap.peek() {
+            let replace = score > min.score
+                || (score == min.score && item < min.item);
+            if replace {
+                self.heap.pop();
+                self.heap.push(Entry { score, item });
+            }
+        }
+    }
+
+    /// Current number of retained items (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The smallest retained score, if any.
+    pub fn threshold(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.score)
+    }
+
+    /// Consumes the collector, returning `(item, score)` pairs sorted by
+    /// descending score (ties broken by ascending item).
+    pub fn into_sorted_vec(self) -> Vec<(T, f64)> {
+        let mut v: Vec<(T, f64)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_best() {
+        let mut t = TopK::new(3);
+        for (i, s) in [(1u32, 0.5), (2, 0.9), (3, 0.1), (4, 0.7), (5, 0.8)] {
+            t.push(i, s);
+        }
+        let out = t.into_sorted_vec();
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![2, 5, 4]
+        );
+    }
+
+    #[test]
+    fn fewer_than_k_returns_all_sorted() {
+        let mut t = TopK::new(10);
+        t.push(1u32, 0.2);
+        t.push(2, 0.4);
+        let out = t.into_sorted_vec();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn zero_k_retains_nothing() {
+        let mut t = TopK::new(0);
+        t.push(1u32, 1.0);
+        assert!(t.is_empty());
+        assert!(t.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut t = TopK::new(2);
+        t.push(1u32, f64::NAN);
+        t.push(2, 0.5);
+        let out = t.into_sorted_vec();
+        assert_eq!(out, vec![(2, 0.5)]);
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_id() {
+        let mut t = TopK::new(2);
+        t.push(9u32, 0.5);
+        t.push(3, 0.5);
+        t.push(7, 0.5);
+        let out = t.into_sorted_vec();
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![3, 7]
+        );
+    }
+
+    #[test]
+    fn threshold_tracks_min() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(1u32, 0.9);
+        t.push(2, 0.4);
+        assert_eq!(t.threshold(), Some(0.4));
+        t.push(3, 0.8);
+        assert_eq!(t.threshold(), Some(0.8));
+    }
+
+    #[test]
+    fn large_stream_matches_full_sort() {
+        // Deterministic pseudo-random stream (LCG).
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut scored: Vec<(u32, f64)> = Vec::new();
+        let mut t = TopK::new(25);
+        for i in 0..5_000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = (x >> 11) as f64 / (1u64 << 53) as f64;
+            scored.push((i, s));
+            t.push(i, s);
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let expect: Vec<u32> = scored[..25].iter().map(|&(i, _)| i).collect();
+        let got: Vec<u32> = t.into_sorted_vec().iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, expect);
+    }
+}

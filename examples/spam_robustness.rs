@@ -1,0 +1,100 @@
+//! Click-spam robustness (§11 future work).
+//!
+//! "Spam clicks can mislead our techniques and thus spam-resistant
+//! variations of our techniques would be useful." This example measures the
+//! damage: inject click-fraud campaigns of growing size into a synthetic
+//! click graph and track how each SimRank variant's rewrite precision
+//! (graded by the simulated editorial judge) degrades.
+//!
+//! Run with: `cargo run --release --example spam_robustness`
+
+use simrankpp::prelude::*;
+use simrankpp::synth::generator::generate;
+use simrankpp::synth::spam::{inject_click_spam, SpamConfig};
+use simrankpp::synth::EditorialJudge;
+
+fn main() {
+    let dataset = generate(&GeneratorConfig::small());
+    let judge = EditorialJudge::new(&dataset.world);
+    let config = SimrankConfig::paper().with_iterations(6);
+
+    println!("Rewrite precision (grades 1-2) under click-spam injection\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "", "clean", "2 ads", "8 ads", "20 ads"
+    );
+
+    for kind in [
+        MethodKind::Simrank,
+        MethodKind::EvidenceSimrank,
+        MethodKind::WeightedSimrank,
+    ] {
+        let mut row = Vec::new();
+        for n_spam in [0usize, 2, 8, 20] {
+            let graph = if n_spam == 0 {
+                dataset.graph.clone()
+            } else {
+                let spam = SpamConfig {
+                    n_spam_ads: n_spam,
+                    queries_per_ad: 40,
+                    clicks_per_edge: 80,
+                    seed: 0x5BA4,
+                };
+                inject_click_spam(&dataset.graph, &spam).0
+            };
+            row.push(precision_on(&graph, &dataset.world, &judge, kind, &config));
+        }
+        println!(
+            "{:<28} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            kind.name(),
+            row[0] * 100.0,
+            row[1] * 100.0,
+            row[2] * 100.0,
+            row[3] * 100.0
+        );
+    }
+    println!(
+        "\nExpected shape: precision declines as campaigns grow; the weighted\n\
+         variant resists longest because spam edges have uniform fabricated\n\
+         weights and spread penalties dampen their influence."
+    );
+}
+
+/// Precision of top-5 rewrites (grades 1–2 positive) over the 60 most
+/// popular queries.
+fn precision_on(
+    graph: &ClickGraph,
+    world: &World,
+    judge: &EditorialJudge,
+    kind: MethodKind,
+    config: &SimrankConfig,
+) -> f64 {
+    let method = Method::compute(kind, graph, config);
+    let rewriter = Rewriter::new(graph, method, RewriterConfig::default());
+    let mut by_pop: Vec<usize> = (0..world.n_queries()).collect();
+    by_pop.sort_by(|&a, &b| {
+        world.query_popularity[b]
+            .partial_cmp(&world.query_popularity[a])
+            .unwrap()
+    });
+    let mut relevant = 0usize;
+    let mut total = 0usize;
+    for &qi in by_pop.iter().take(60) {
+        let q = QueryId(qi as u32);
+        for r in rewriter.rewrites(q, None) {
+            // Spam "queries" don't exist in the world; a rewrite pointing at
+            // an out-of-world id is automatically a mismatch.
+            if r.query.index() < world.n_queries() {
+                total += 1;
+                if judge.judge(q, r.query).relevant_at_2() {
+                    relevant += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        relevant as f64 / total as f64
+    }
+}
