@@ -1,0 +1,66 @@
+//! Flat sorted-pair accumulation vs the historical hash-map path.
+//!
+//! Both paths share the same transition factors and chunked parallelism —
+//! the only difference is how per-iteration pair contributions are
+//! accumulated — so this bench isolates the accumulation strategy on a
+//! 10k-query synthetic graph. Results are recorded in `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrankpp_core::engine::{self, reference, UniformTransition, WeightedTransition};
+use simrankpp_core::weighted::SpreadMode;
+use simrankpp_core::SimrankConfig;
+use simrankpp_graph::WeightKind;
+use simrankpp_synth::generator::{generate, GeneratorConfig, SynthDataset};
+
+fn ten_k_graph() -> SynthDataset {
+    let mut gen = GeneratorConfig::small();
+    gen.n_queries = 10_000;
+    gen.n_ads = 7_000;
+    generate(&gen)
+}
+
+fn accumulation(c: &mut Criterion) {
+    let dataset = ten_k_graph();
+    let cfg = SimrankConfig::default()
+        .with_iterations(5)
+        .with_prune_threshold(1e-4);
+
+    let mut group = c.benchmark_group("engine_10k");
+    group.sample_size(10);
+    group.bench_function("flat_uniform", |b| {
+        b.iter(|| engine::run(&dataset.graph, &cfg, &UniformTransition))
+    });
+    group.bench_function("hashmap_uniform", |b| {
+        b.iter(|| reference::run_hashmap(&dataset.graph, &cfg, &UniformTransition))
+    });
+    let weighted = WeightedTransition {
+        kind: WeightKind::ExpectedClickRate,
+        spread: SpreadMode::Exponential,
+    };
+    group.bench_function("flat_weighted", |b| {
+        b.iter(|| engine::run(&dataset.graph, &cfg, &weighted))
+    });
+    group.bench_function("hashmap_weighted", |b| {
+        b.iter(|| reference::run_hashmap(&dataset.graph, &cfg, &weighted))
+    });
+    group.finish();
+}
+
+fn threads(c: &mut Criterion) {
+    let dataset = ten_k_graph();
+    let mut group = c.benchmark_group("engine_10k_threads");
+    group.sample_size(10);
+    for t in [1usize, 4] {
+        let cfg = SimrankConfig::default()
+            .with_iterations(5)
+            .with_prune_threshold(1e-4)
+            .with_threads(t);
+        group.bench_with_input(BenchmarkId::new("flat_uniform", t), &cfg, |b, cfg| {
+            b.iter(|| engine::run(&dataset.graph, cfg, &UniformTransition))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, accumulation, threads);
+criterion_main!(benches);

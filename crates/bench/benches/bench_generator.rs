@@ -1,10 +1,10 @@
 //! Criterion benches for the synthetic workload generator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use simrankpp_synth::generator::{generate, GeneratorConfig};
-use simrankpp_synth::ZipfSampler;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use simrankpp_synth::generator::{generate, GeneratorConfig};
+use simrankpp_synth::ZipfSampler;
 
 fn generator(c: &mut Criterion) {
     c.bench_function("generate_tiny", |b| {

@@ -7,9 +7,9 @@
 
 use simrankpp_core::evidence::EvidenceKind;
 use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig};
+use simrankpp_graph::QueryId;
 use simrankpp_synth::generator::generate;
 use simrankpp_synth::EditorialJudge;
-use simrankpp_graph::QueryId;
 
 fn main() {
     let scale = simrankpp_bench::scale();
@@ -38,7 +38,11 @@ fn main() {
                 .partial_cmp(&dataset.world.query_popularity[a])
                 .unwrap()
         });
-        let sample: Vec<QueryId> = by_pop.iter().take(200).map(|&q| QueryId(q as u32)).collect();
+        let sample: Vec<QueryId> = by_pop
+            .iter()
+            .take(200)
+            .map(|&q| QueryId(q as u32))
+            .collect();
 
         let mut covered = 0usize;
         let mut hits = [0usize; 5];

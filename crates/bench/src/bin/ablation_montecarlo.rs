@@ -14,7 +14,10 @@ use std::time::Instant;
 
 fn main() {
     let scale = simrankpp_bench::scale();
-    simrankpp_bench::banner("ablation_montecarlo", "§5's random-surfer model as an estimator");
+    simrankpp_bench::banner(
+        "ablation_montecarlo",
+        "§5's random-surfer model as an estimator",
+    );
     let config = simrankpp_bench::experiment_config(&scale);
     let dataset = generate(&config.generator);
 
@@ -47,13 +50,7 @@ fn main() {
         let t0 = Instant::now();
         let mut err = 0.0;
         for &(a, b, s) in &pairs {
-            let est = mc_simrank_pair(
-                &dataset.graph,
-                QueryId(a),
-                QueryId(b),
-                &config.simrank,
-                &mc,
-            );
+            let est = mc_simrank_pair(&dataset.graph, QueryId(a), QueryId(b), &config.simrank, &mc);
             err += (est - s).abs();
         }
         let dt = t0.elapsed().as_secs_f64() * 1e3 / pairs.len() as f64;

@@ -1,17 +1,23 @@
 //! Ablation: sparse-engine pruning threshold.
 //!
-//! The sparse SimRank engine drops pair scores below a threshold after each
+//! The unified engine drops pair scores below a threshold after each
 //! iteration — the knob that makes large graphs feasible. This sweep
 //! measures the accuracy/work trade-off against the exact (threshold 0)
-//! scores.
+//! scores, and prints the engine's per-iteration diagnostics (stored pairs
+//! and max score delta) for both the plain and the weighted variant.
 
+use simrankpp_core::evidence::EvidenceKind;
 use simrankpp_core::simrank::simrank;
+use simrankpp_core::weighted::weighted_simrank;
 use simrankpp_synth::generator::generate;
 use std::time::Instant;
 
 fn main() {
     let scale = simrankpp_bench::scale();
-    simrankpp_bench::banner("ablation_pruning", "the sparse-engine design choice (DESIGN.md §4)");
+    simrankpp_bench::banner(
+        "ablation_pruning",
+        "the sparse-engine design choice (DESIGN.md §4)",
+    );
     let config = simrankpp_bench::experiment_config(&scale);
     let dataset = generate(&config.generator);
     println!(
@@ -26,6 +32,32 @@ fn main() {
     let exact = simrank(&dataset.graph, &exact_cfg);
     let exact_time = t0.elapsed();
 
+    println!("--- per-iteration engine diagnostics (exact, plain SimRank) ---");
+    println!(
+        "{:<6} {:>14} {:>12} {:>14}",
+        "iter", "query pairs", "ad pairs", "max |Δscore|"
+    );
+    for (k, (&(qp, ap), &delta)) in exact.pair_counts.iter().zip(&exact.max_deltas).enumerate() {
+        println!("{:<6} {qp:>14} {ap:>12} {delta:>14.3e}", k + 1);
+    }
+
+    // The same diagnostics come from the shared engine for the weighted walk.
+    let weighted = weighted_simrank(&dataset.graph, &exact_cfg, EvidenceKind::Geometric);
+    println!("\n--- per-iteration engine diagnostics (exact, weighted SimRank) ---");
+    println!(
+        "{:<6} {:>14} {:>12} {:>14}",
+        "iter", "query pairs", "ad pairs", "max |Δscore|"
+    );
+    for (k, (&(qp, ap), &delta)) in weighted
+        .pair_counts
+        .iter()
+        .zip(&weighted.max_deltas)
+        .enumerate()
+    {
+        println!("{:<6} {qp:>14} {ap:>12} {delta:>14.3e}", k + 1);
+    }
+
+    println!("\n--- pruning sweep (plain SimRank) ---");
     println!(
         "{:<12} {:>12} {:>14} {:>16} {:>12}",
         "threshold", "pairs", "time (ms)", "max |Δscore|", "vs exact"
@@ -53,5 +85,18 @@ fn main() {
             exact_time.as_secs_f64() / dt.as_secs_f64().max(1e-9)
         );
     }
-    println!("\nExpected: orders-of-magnitude fewer pairs at threshold 1e-4 with max score\nerror around the threshold itself.");
+
+    // Convergence-based early exit: run far past the fixed iteration budget
+    // and let the tolerance stop the loop.
+    let tol_cfg = config.simrank.with_iterations(100).with_tolerance(1e-6);
+    let t0 = Instant::now();
+    let tol = simrank(&dataset.graph, &tol_cfg);
+    println!(
+        "\ntolerance 1e-6: stopped after {} iterations (converged = {}, last Δ = {:.2e}, {:.0} ms)",
+        tol.iterations_run,
+        tol.converged,
+        tol.max_deltas.last().copied().unwrap_or(0.0),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!("\nExpected: orders-of-magnitude fewer pairs at threshold 1e-4 with max score\nerror around the threshold itself, and early exit well before 100 iterations.");
 }

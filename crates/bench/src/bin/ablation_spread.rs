@@ -21,7 +21,12 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(config.desirability_trials);
-    let trials = prepare_trials(&dataset.graph, n_trials, &config.simrank, config.seed ^ 0xD5);
+    let trials = prepare_trials(
+        &dataset.graph,
+        n_trials,
+        &config.simrank,
+        config.seed ^ 0xD5,
+    );
     println!("{} trials prepared\n", trials.len());
 
     println!("{:<22} {:>12} {:>8}", "spread mode", "correct", "ties");

@@ -23,16 +23,28 @@ fn main() {
     matrix(|a, b| format!("{:.0}", naive.get(a, b)));
 
     println!("\n--- Table 2: converged SimRank, C1=C2=0.8 ---");
+    // The engine's tolerance early-exit decides when "converged" is reached
+    // instead of a hardcoded iteration budget.
     let t2cfg = SimrankConfig::paper()
         .with_iterations(100)
+        .with_tolerance(1e-10)
         .with_weight_kind(WeightKind::Clicks);
     let sr = simrank(&g3, &t2cfg);
     matrix(|a, b| format!("{:.3}", sr.queries.get(a, b)));
+    println!(
+        "engine: {} iterations to max |Δ| ≤ 1e-10 (converged = {}, {} query pairs stored)",
+        sr.iterations_run,
+        sr.converged,
+        sr.queries.n_pairs()
+    );
 
     println!("\n--- Table 3: SimRank iterations on K2,2 vs K1,2 ---");
     let k22 = km2_pair_iterates(2, 0.8, 0.8, 7);
     let k12 = km2_pair_iterates(1, 0.8, 0.8, 7);
-    println!("{:<6} {:>26} {:>18}", "iter", "sim(camera,digital camera)", "sim(pc,camera)");
+    println!(
+        "{:<6} {:>26} {:>18}",
+        "iter", "sim(camera,digital camera)", "sim(pc,camera)"
+    );
     for k in 0..7 {
         println!("{:<6} {:>26.7} {:>18.7}", k + 1, k22[k], k12[k]);
     }
@@ -40,7 +52,10 @@ fn main() {
     println!("\n--- Table 4: evidence-based iterations ---");
     let e22 = km2_evidence_pair_iterates(2, 0.8, 0.8, 7, EvidenceKind::Geometric);
     let e12 = km2_evidence_pair_iterates(1, 0.8, 0.8, 7, EvidenceKind::Geometric);
-    println!("{:<6} {:>26} {:>18}", "iter", "sim(camera,digital camera)", "sim(pc,camera)");
+    println!(
+        "{:<6} {:>26} {:>18}",
+        "iter", "sim(camera,digital camera)", "sim(pc,camera)"
+    );
     for k in 0..7 {
         println!("{:<6} {:>26.7} {:>18.7}", k + 1, e22[k], e12[k]);
     }

@@ -16,17 +16,40 @@ fn main() {
     let closed_k22 = km2_pair_iterates(2, 0.8, 0.8, 7);
     let closed_k12 = km2_pair_iterates(1, 0.8, 0.8, 7);
 
+    // One 7-iteration engine run supplies the whole max-delta trajectory.
+    let full = simrank(&k22, &SimrankConfig::paper().with_iterations(7));
+
     println!(
-        "{:<10} {:>28} {:>22}",
-        "Iteration", "sim(camera, digital camera)", "sim(pc, camera)"
+        "{:<10} {:>28} {:>22} {:>16}",
+        "Iteration", "sim(camera, digital camera)", "sim(pc, camera)", "K2,2 max |Δ|"
     );
     for k in 1..=7 {
         let cfg = SimrankConfig::paper().with_iterations(k);
         let e22 = simrank(&k22, &cfg).queries.get(0, 1);
         let e12 = simrank(&k12, &cfg).queries.get(0, 1);
-        assert!((e22 - closed_k22[k - 1]).abs() < 1e-12, "engine/closed-form mismatch");
+        assert!(
+            (e22 - closed_k22[k - 1]).abs() < 1e-12,
+            "engine/closed-form mismatch"
+        );
         assert!((e12 - closed_k12[k - 1]).abs() < 1e-12);
-        println!("{k:<10} {e22:>28.7} {e12:>22.7}");
+        // On K2,2 the pair score is the only moving entry per side, so the
+        // engine's recorded delta must equal the closed-form step size.
+        let step = if k == 1 {
+            closed_k22[0]
+        } else {
+            closed_k22[k - 1] - closed_k22[k - 2]
+        };
+        let recorded = full.max_deltas[k - 1];
+        assert!(
+            (recorded - step).abs() < 1e-12,
+            "iteration {k}: engine delta {recorded} != closed-form step {step}"
+        );
+        println!("{k:<10} {e22:>28.7} {e12:>22.7} {recorded:>16.7}");
     }
     println!("\nPaper row 7: 0.6655744 vs 0.8 — the §6 complaint: K2,2 never catches up.");
+    println!(
+        "Engine diagnostics: {} iterations, final max |Δ| = {:.3e} (geometric decay at rate C²/4).",
+        full.iterations_run,
+        full.max_deltas.last().unwrap()
+    );
 }

@@ -59,7 +59,10 @@ pub fn experiment_config(scale: &str) -> ExperimentConfig {
 /// Prints the standard banner for a regeneration binary.
 pub fn banner(target: &str, paper_ref: &str) {
     println!("=== {target} — reproduces {paper_ref} ===");
-    println!("scale: {} (set SIMRANKPP_SCALE=tiny|small|paper)\n", scale());
+    println!(
+        "scale: {} (set SIMRANKPP_SCALE=tiny|small|paper)\n",
+        scale()
+    );
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@ pub struct SimrankConfig {
     /// Sparse engines drop pair scores below this threshold after each
     /// iteration. `0.0` disables pruning.
     pub prune_threshold: f64,
+    /// Early-exit tolerance: the unified engine stops iterating once the
+    /// largest per-pair score change (either side) falls to or below this.
+    /// `0.0` (default) disables early exit and runs all `iterations`.
+    pub tolerance: f64,
     /// Which §2 edge weight weighted SimRank and Pearson consume.
     pub weight_kind: WeightKind,
     /// Worker threads for the sparse engines. `1` = serial (deterministic
@@ -31,6 +35,7 @@ impl Default for SimrankConfig {
             c2: 0.8,
             iterations: 7,
             prune_threshold: 0.0,
+            tolerance: 0.0,
             weight_kind: WeightKind::ExpectedClickRate,
             threads: 1,
         }
@@ -62,6 +67,12 @@ impl SimrankConfig {
         self
     }
 
+    /// Builder-style: set the early-exit tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
     /// Builder-style: set the edge-weight kind.
     pub fn with_weight_kind(mut self, kind: WeightKind) -> Self {
         self.weight_kind = kind;
@@ -84,6 +95,9 @@ impl SimrankConfig {
         }
         if !self.prune_threshold.is_finite() || self.prune_threshold < 0.0 {
             return Err("prune threshold must be finite and non-negative".into());
+        }
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err("tolerance must be finite and non-negative".into());
         }
         Ok(())
     }
@@ -129,8 +143,29 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_decay() {
-        assert!(SimrankConfig::default().with_decay(1.5, 0.8).validate().is_err());
-        assert!(SimrankConfig::default().with_decay(-0.1, 0.8).validate().is_err());
+        assert!(SimrankConfig::default()
+            .with_decay(1.5, 0.8)
+            .validate()
+            .is_err());
+        assert!(SimrankConfig::default()
+            .with_decay(-0.1, 0.8)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn tolerance_builder_and_validation() {
+        let c = SimrankConfig::default().with_tolerance(1e-9);
+        assert_eq!(c.tolerance, 1e-9);
+        assert!(c.validate().is_ok());
+        assert!(SimrankConfig::default()
+            .with_tolerance(-1.0)
+            .validate()
+            .is_err());
+        assert!(SimrankConfig::default()
+            .with_tolerance(f64::INFINITY)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -145,6 +180,9 @@ mod tests {
     #[test]
     fn effective_threads_resolves_auto() {
         assert!(SimrankConfig::default().with_threads(0).effective_threads() >= 1);
-        assert_eq!(SimrankConfig::default().with_threads(3).effective_threads(), 3);
+        assert_eq!(
+            SimrankConfig::default().with_threads(3).effective_threads(),
+            3
+        );
     }
 }

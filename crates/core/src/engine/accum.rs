@@ -1,0 +1,231 @@
+//! Flat sorted-pair accumulation.
+//!
+//! The historical engines rebuilt an `FxHashMap<PairKey, f64>` every
+//! iteration: each contribution paid a hash + probe, and the map's buckets
+//! were scattered across the heap. The flat path appends contributions to a
+//! plain buffer; full buffers are sorted, duplicate-combined, and kept as
+//! independent sorted runs that a tournament merge combines at the end —
+//! sequential memory traffic throughout, and output already in the sorted
+//! order [`crate::scores::ScoreMatrix`] wants. `bench_engine` measures the
+//! two side by side.
+
+use simrankpp_util::PairKey;
+
+/// Sorted-by-key, duplicate-free pair scores — the engine's iterate format.
+pub type PairVec = Vec<(PairKey, f64)>;
+
+/// Buffer length that triggers an intermediate flush, bounding the *unsorted*
+/// working set per worker; flushed runs hold only distinct pairs.
+const FLUSH_AT: usize = 1 << 20;
+
+/// Accumulates `(pair, delta)` contributions and produces a combined,
+/// key-sorted vector.
+#[derive(Debug, Default)]
+pub struct FlatAccumulator {
+    /// Sorted, duplicate-free runs, one per flush; merged in [`Self::finish`]
+    /// so a long accumulation costs `O(n log k)` rather than re-merging the
+    /// running total on every flush.
+    runs: Vec<PairVec>,
+    /// Raw contributions awaiting a flush.
+    buf: PairVec,
+}
+
+impl FlatAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the unordered pair `(a, b)`.
+    ///
+    /// # Panics
+    /// Debug builds panic on diagonal pairs — the diagonal is fixed at 1.
+    #[inline]
+    pub fn add(&mut self, a: u32, b: u32, delta: f64) {
+        debug_assert_ne!(a, b, "diagonal scores are fixed at 1");
+        self.buf.push((PairKey::new(a, b), delta));
+        if self.buf.len() >= FLUSH_AT {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.buf.sort_unstable_by_key(|&(k, _)| k.raw());
+        combine_sorted(&mut self.buf);
+        self.runs.push(std::mem::take(&mut self.buf));
+    }
+
+    /// Finishes accumulation: sorted, duplicate-free pair scores.
+    pub fn finish(mut self) -> PairVec {
+        self.flush();
+        merge_all(self.runs)
+    }
+}
+
+/// Sums adjacent entries with equal keys in a sorted vector, in place.
+fn combine_sorted(v: &mut PairVec) {
+    let mut w = 0usize;
+    for r in 0..v.len() {
+        if w > 0 && v[w - 1].0 == v[r].0 {
+            v[w - 1].1 += v[r].1;
+        } else {
+            v[w] = v[r];
+            w += 1;
+        }
+    }
+    v.truncate(w);
+}
+
+/// Additively merges two sorted, duplicate-free vectors.
+fn merge_two(a: PairVec, b: &[(PairKey, f64)]) -> PairVec {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.raw().cmp(&b[j].0.raw()) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Additively merges per-worker results into one sorted vector.
+///
+/// Merges pairwise (tournament-style) so total work is `O(n log k)` for `k`
+/// chunks rather than `O(n·k)` for a left fold.
+pub fn merge_all(mut pieces: Vec<PairVec>) -> PairVec {
+    if pieces.is_empty() {
+        return Vec::new();
+    }
+    while pieces.len() > 1 {
+        let mut next = Vec::with_capacity(pieces.len().div_ceil(2));
+        let mut it = pieces.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, &b)),
+                None => next.push(a),
+            }
+        }
+        pieces = next;
+    }
+    pieces.pop().unwrap()
+}
+
+/// Scales every score by `c` and drops entries at or below
+/// `prune_threshold` (and any non-positive entries), in place.
+pub fn scale_prune(mut v: PairVec, c: f64, prune_threshold: f64) -> PairVec {
+    v.retain_mut(|(_, s)| {
+        *s *= c;
+        *s > prune_threshold && *s > 0.0
+    });
+    v
+}
+
+/// Largest absolute score difference between two sorted pair vectors, over
+/// the union of their keys (missing entries count as 0).
+pub fn max_delta(a: &[(PairKey, f64)], b: &[(PairKey, f64)]) -> f64 {
+    let mut max = 0.0f64;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.raw().cmp(&b[j].0.raw()) {
+            std::cmp::Ordering::Less => {
+                max = max.max(a[i].1.abs());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                max = max.max(b[j].1.abs());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                max = max.max((a[i].1 - b[j].1).abs());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(_, s) in &a[i..] {
+        max = max.max(s.abs());
+    }
+    for &(_, s) in &b[j..] {
+        max = max.max(s.abs());
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_combines_duplicates() {
+        let mut acc = FlatAccumulator::new();
+        acc.add(3, 1, 0.25);
+        acc.add(1, 3, 0.25); // same unordered pair
+        acc.add(0, 2, 1.0);
+        let v = acc.finish();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].0, PairKey::new(0, 2));
+        assert_eq!(v[1], (PairKey::new(1, 3), 0.5));
+    }
+
+    #[test]
+    fn output_is_sorted_even_across_flushes() {
+        let mut acc = FlatAccumulator::new();
+        // Force multiple flushes with descending keys.
+        for round in 0..3 {
+            for i in (0..(FLUSH_AT as u32 / 2)).rev() {
+                acc.add(i, i + 1 + round, 1.0);
+            }
+        }
+        let v = acc.finish();
+        assert!(v.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()));
+        let total: f64 = v.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 3.0 * (FLUSH_AT as f64 / 2.0));
+    }
+
+    #[test]
+    fn merge_all_sums_across_pieces() {
+        let a = vec![(PairKey::new(0, 1), 1.0), (PairKey::new(2, 3), 2.0)];
+        let b = vec![(PairKey::new(0, 1), 0.5)];
+        let c = vec![(PairKey::new(4, 5), 4.0)];
+        let m = merge_all(vec![a, b, c]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], (PairKey::new(0, 1), 1.5));
+    }
+
+    #[test]
+    fn scale_prune_drops_small() {
+        let v = vec![
+            (PairKey::new(0, 1), 1.0),
+            (PairKey::new(0, 2), 1e-9),
+            (PairKey::new(0, 3), 0.0),
+        ];
+        let out = scale_prune(v, 0.8, 1e-6);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].1 - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_delta_covers_union() {
+        let a = vec![(PairKey::new(0, 1), 0.5), (PairKey::new(2, 3), 0.1)];
+        let b = vec![(PairKey::new(0, 1), 0.4), (PairKey::new(4, 5), 0.3)];
+        assert!((max_delta(&a, &b) - 0.3).abs() < 1e-15);
+        assert_eq!(max_delta(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! The unified sparse propagation engine.
+//!
+//! The paper's recursive similarity methods — plain SimRank (§4, Eq. 4.1/4.2)
+//! and weighted SimRank (§8.2) — are the *same* Jacobi pair-propagation loop
+//! with different per-edge transition factors:
+//!
+//! ```text
+//! s_{k+1}(q,q') = C1 · Σ_{i∈E(q)} Σ_{j∈E(q')} F(q,i) · F(q',j) · s_k(i,j)
+//! ```
+//!
+//! with `F(q,i) = 1/N(q)` for the uniform walk (§4) and
+//! `F(q,i) = spread(i)·normalized_weight(q,i)` for the weighted walk (§8.2),
+//! and the mirror equation on the ad side. This module factors that loop out
+//! once:
+//!
+//! * [`Transition`] abstracts the per-edge walk factor ([`UniformTransition`],
+//!   [`WeightedTransition`]); new variants only supply factor tables.
+//! * [`run`] drives the shared kernel: each iteration propagates every stored
+//!   ad-pair score to the query pairs it supports (and vice versa), using a
+//!   **flat sorted-pair accumulator** ([`accum::FlatAccumulator`]) instead of
+//!   a per-iteration hash-map rebuild — contributions are appended to a
+//!   buffer, sorted, and merge-combined, which is allocation-lean and
+//!   cache-friendly.
+//! * [`parallel::run_chunked`] supplies chunked scoped-thread parallelism for
+//!   every variant (previously each engine carried its own copy).
+//! * Per-iteration diagnostics — stored pair counts and the max score delta —
+//!   are recorded for *all* variants, and [`crate::SimrankConfig::tolerance`]
+//!   enables early exit once the iteration becomes stationary.
+//!
+//! [`reference::run_hashmap`] keeps the historical hash-map accumulation path
+//! alive for cross-checking and the `bench_engine` comparison.
+
+pub mod accum;
+pub mod parallel;
+pub mod reference;
+pub mod transition;
+
+pub use transition::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
+
+use crate::config::SimrankConfig;
+use crate::scores::ScoreMatrix;
+use accum::{max_delta, FlatAccumulator, PairVec};
+use simrankpp_graph::{AdId, ClickGraph, QueryId};
+
+/// Output of one engine run: frozen score matrices plus the per-iteration
+/// diagnostics shared by every variant.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Query-side similarity scores.
+    pub queries: ScoreMatrix,
+    /// Ad-side similarity scores.
+    pub ads: ScoreMatrix,
+    /// Stored (query-pairs, ad-pairs) after each executed iteration.
+    pub pair_counts: Vec<(usize, usize)>,
+    /// Largest absolute per-pair score change (both sides) at each iteration.
+    pub max_deltas: Vec<f64>,
+    /// Iterations actually executed (< `config.iterations` on early exit).
+    pub iterations_run: usize,
+    /// Whether the run stopped because the max delta fell below
+    /// `config.tolerance`.
+    pub converged: bool,
+}
+
+/// Minimal id abstraction so one kernel walks both CSR directions.
+pub(crate) trait NodeId: Copy + Sync {
+    /// The raw dense id.
+    fn raw(self) -> u32;
+}
+
+impl NodeId for QueryId {
+    #[inline]
+    fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl NodeId for AdId {
+    #[inline]
+    fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Runs the unified Jacobi propagation loop for `transition` on `g`.
+///
+/// Exact (bar floating-point rounding) when `config.prune_threshold == 0`;
+/// with a threshold, pairs whose scaled score falls at or below it are
+/// dropped after each iteration. When `config.tolerance > 0`, iteration stops
+/// as soon as the largest per-pair change on either side is at or below it.
+pub fn run<T: Transition>(g: &ClickGraph, config: &SimrankConfig, transition: &T) -> EngineRun {
+    config.validate().expect("invalid SimRank configuration");
+    let factors = transition.factors(g);
+    let threads = config.effective_threads();
+
+    let mut q_pairs: PairVec = Vec::new();
+    let mut a_pairs: PairVec = Vec::new();
+    let mut pair_counts = Vec::with_capacity(config.iterations);
+    let mut max_deltas = Vec::with_capacity(config.iterations);
+    let mut converged = false;
+
+    for _ in 0..config.iterations {
+        // Jacobi: both sides advance from the *previous* iterate.
+        let next_q = propagate(
+            g.n_ads(),
+            |a| {
+                let (qs, _) = g.queries_of(AdId(a));
+                let lo = g.ad_csr_offset(AdId(a));
+                (qs, &factors.ad_to_query[lo..lo + qs.len()])
+            },
+            &a_pairs,
+            config.c1,
+            config.prune_threshold,
+            threads,
+        );
+        let next_a = propagate(
+            g.n_queries(),
+            |q| {
+                let (ads, _) = g.ads_of(QueryId(q));
+                let lo = g.query_csr_offset(QueryId(q));
+                (ads, &factors.query_to_ad[lo..lo + ads.len()])
+            },
+            &q_pairs,
+            config.c2,
+            config.prune_threshold,
+            threads,
+        );
+
+        let delta = max_delta(&q_pairs, &next_q).max(max_delta(&a_pairs, &next_a));
+        q_pairs = next_q;
+        a_pairs = next_a;
+        pair_counts.push((q_pairs.len(), a_pairs.len()));
+        max_deltas.push(delta);
+
+        if config.tolerance > 0.0 && delta <= config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    let iterations_run = pair_counts.len();
+    EngineRun {
+        queries: ScoreMatrix::from_sorted_pairs(g.n_queries(), q_pairs),
+        ads: ScoreMatrix::from_sorted_pairs(g.n_ads(), a_pairs),
+        pair_counts,
+        max_deltas,
+        iterations_run,
+        converged,
+    }
+}
+
+/// Destination of kernel contributions — lets the flat and the reference
+/// hash-map paths share one scatter loop, so the two can only differ in
+/// accumulation strategy, never in the propagation math.
+pub(crate) trait PairSink {
+    /// Adds `delta` to the unordered pair `(a, b)`.
+    fn add_pair(&mut self, a: u32, b: u32, delta: f64);
+}
+
+impl PairSink for FlatAccumulator {
+    #[inline]
+    fn add_pair(&mut self, a: u32, b: u32, delta: f64) {
+        self.add(a, b, delta);
+    }
+}
+
+impl PairSink for crate::scores::ScoreMatrixBuilder {
+    #[inline]
+    fn add_pair(&mut self, a: u32, b: u32, delta: f64) {
+        self.add(a, b, delta);
+    }
+}
+
+/// The shared scatter loop of one Jacobi half-step, over one chunk of the
+/// combined item space (`0..prev.len()` = stored source pairs, the rest =
+/// unit source diagonals).
+///
+/// `row(src)` returns the source node's target neighbors together with the
+/// matching factor slice (`F(target, src)` per edge). The stored pair
+/// `(i, j, s)` contributes `F(t,i)·F(t',j)·s` to every ordered neighbor
+/// combination `(t ∈ row(i), t' ∈ row(j))`, and each source's diagonal
+/// (`s(i,i) = 1`) contributes `F(t,i)·F(t',i)` per unordered neighbor pair.
+pub(crate) fn scatter_chunk<'g, I, RowFn, S>(
+    range: std::ops::Range<usize>,
+    prev: &[(simrankpp_util::PairKey, f64)],
+    row: &RowFn,
+    sink: &mut S,
+) where
+    I: NodeId + 'g,
+    RowFn: Fn(u32) -> (&'g [I], &'g [f64]),
+    S: PairSink,
+{
+    let n_pair_items = prev.len();
+    for idx in range {
+        if idx < n_pair_items {
+            let (key, s) = prev[idx];
+            let (i, j) = key.parts();
+            let (targets_i, f_i) = row(i);
+            let (targets_j, f_j) = row(j);
+            for (x, ti) in targets_i.iter().enumerate() {
+                let w = f_i[x] * s;
+                for (y, tj) in targets_j.iter().enumerate() {
+                    if ti.raw() != tj.raw() {
+                        sink.add_pair(ti.raw(), tj.raw(), w * f_j[y]);
+                    }
+                }
+            }
+        } else {
+            let src = (idx - n_pair_items) as u32;
+            let (targets, f) = row(src);
+            for x in 0..targets.len() {
+                for y in (x + 1)..targets.len() {
+                    sink.add_pair(targets[x].raw(), targets[y].raw(), f[x] * f[y]);
+                }
+            }
+        }
+    }
+}
+
+/// One Jacobi half-step on the flat path: scatter into per-chunk
+/// [`FlatAccumulator`]s, merge, then scale by the decay `c` and prune.
+pub(crate) fn propagate<'g, I, RowFn>(
+    n_sources: usize,
+    row: RowFn,
+    prev: &PairVec,
+    c: f64,
+    prune_threshold: f64,
+    threads: usize,
+) -> PairVec
+where
+    I: NodeId + 'g,
+    RowFn: Fn(u32) -> (&'g [I], &'g [f64]) + Sync,
+{
+    let pieces = parallel::run_chunked(prev.len() + n_sources, threads, |range| {
+        let mut acc = FlatAccumulator::new();
+        scatter_chunk(range, prev, &row, &mut acc);
+        acc.finish()
+    });
+    let merged = accum::merge_all(pieces);
+    accum::scale_prune(merged, c, prune_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::SpreadMode;
+    use simrankpp_graph::fixtures::{figure3_graph, figure4_k22};
+    use simrankpp_graph::WeightKind;
+
+    fn cfg(k: usize) -> SimrankConfig {
+        SimrankConfig::default().with_iterations(k)
+    }
+
+    #[test]
+    fn uniform_engine_reproduces_table3() {
+        let g = figure4_k22();
+        let expected = [0.4, 0.56, 0.624, 0.6496, 0.65984, 0.663936, 0.6655744];
+        for (k, &want) in expected.iter().enumerate() {
+            let r = run(&g, &cfg(k + 1), &UniformTransition);
+            assert!(
+                (r.queries.get(0, 1) - want).abs() < 1e-9,
+                "iteration {}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn diagnostics_recorded_every_iteration() {
+        let g = figure3_graph();
+        let r = run(&g, &cfg(5), &UniformTransition);
+        assert_eq!(r.pair_counts.len(), 5);
+        assert_eq!(r.max_deltas.len(), 5);
+        assert_eq!(r.iterations_run, 5);
+        assert!(!r.converged);
+        // First iteration jumps from the identity, so the delta is largest.
+        assert!(r.max_deltas[0] >= r.max_deltas[4]);
+        assert!(r.max_deltas.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn tolerance_stops_early_and_flags_convergence() {
+        let g = figure3_graph();
+        let full = run(&g, &cfg(100), &UniformTransition);
+        let tol = run(&g, &cfg(100).with_tolerance(1e-6), &UniformTransition);
+        assert!(tol.converged);
+        assert!(tol.iterations_run < full.iterations_run);
+        // Early exit at tolerance t bounds the per-pair error by t·C/(1−C).
+        assert!(full.queries.max_abs_diff(&tol.queries) < 1e-5);
+    }
+
+    #[test]
+    fn weighted_transition_diagnostics_present() {
+        let g = figure3_graph();
+        let t = WeightedTransition {
+            kind: WeightKind::Clicks,
+            spread: SpreadMode::Exponential,
+        };
+        let r = run(&g, &cfg(4), &t);
+        assert_eq!(r.pair_counts.len(), 4);
+        assert_eq!(r.max_deltas.len(), 4);
+        assert!(r.pair_counts[3].0 > 0);
+    }
+
+    #[test]
+    fn flat_and_hashmap_paths_agree() {
+        use simrankpp_graph::{AdId, ClickGraphBuilder, EdgeData, QueryId};
+        let mut b = ClickGraphBuilder::new();
+        let mut x: u64 = 17;
+        for _ in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.add_edge(
+                QueryId(((x >> 33) % 50) as u32),
+                AdId(((x >> 13) % 40) as u32),
+                EdgeData::from_clicks(1 + (x % 5)),
+            );
+        }
+        let g = b.build();
+        for transition in [
+            None,
+            Some(WeightedTransition {
+                kind: WeightKind::Clicks,
+                spread: SpreadMode::Exponential,
+            }),
+        ] {
+            let (flat, hashed) = match &transition {
+                None => (
+                    run(&g, &cfg(5), &UniformTransition),
+                    reference::run_hashmap(&g, &cfg(5), &UniformTransition),
+                ),
+                Some(t) => (run(&g, &cfg(5), t), reference::run_hashmap(&g, &cfg(5), t)),
+            };
+            assert!(
+                flat.queries.max_abs_diff(&hashed.queries) < 1e-12,
+                "query drift {}",
+                flat.queries.max_abs_diff(&hashed.queries)
+            );
+            assert!(flat.ads.max_abs_diff(&hashed.ads) < 1e-12);
+        }
+    }
+}

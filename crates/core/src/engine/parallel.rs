@@ -1,0 +1,61 @@
+//! Chunked scoped-thread parallelism shared by every engine variant.
+//!
+//! The seed code carried one `parallel_chunks` copy per engine, each welded
+//! to `ScoreMatrixBuilder` and crossbeam. This version is generic over the
+//! per-chunk result and uses `std::thread::scope`, dropping the external
+//! dependency.
+
+use std::ops::Range;
+
+/// Below this item count the threading overhead outweighs the work; run
+/// serially regardless of the configured thread count.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+/// Splits `0..n_items` into `threads` contiguous chunks, runs `work` on each
+/// (serially when `threads <= 1` or the range is small), and returns the
+/// per-chunk results in chunk order — deterministic given deterministic
+/// `work`.
+pub fn run_chunked<T, F>(n_items: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if threads <= 1 || n_items < PARALLEL_THRESHOLD {
+        return vec![work(0..n_items)];
+    }
+    let threads = threads.min(n_items);
+    let chunk = n_items.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(n_items);
+                let hi = ((t + 1) * chunk).min(n_items);
+                let work = &work;
+                scope.spawn(move || work(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_cover_the_same_items() {
+        let serial: usize = run_chunked(10, 1, |r| r.sum::<usize>()).into_iter().sum();
+        let parallel: usize = run_chunked(5000, 4, |r| r.sum::<usize>()).into_iter().sum();
+        assert_eq!(serial, (0..10).sum());
+        assert_eq!(parallel, (0..5000).sum());
+    }
+
+    #[test]
+    fn chunks_are_ordered() {
+        let pieces = run_chunked(4096, 4, |r| r.start);
+        assert!(pieces.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,104 @@
+//! The historical hash-map accumulation path.
+//!
+//! Kept for two purposes: cross-checking the flat sorted-pair kernel (the
+//! two must agree to rounding), and the `bench_engine` comparison that
+//! documents why the flat path replaced it. Same factors, same chunked
+//! parallelism — only the accumulation strategy differs.
+
+use super::parallel;
+use super::{NodeId, Transition};
+use crate::config::SimrankConfig;
+use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
+use simrankpp_graph::{AdId, ClickGraph, QueryId};
+use simrankpp_util::PairKey;
+
+/// Result of the reference run: score matrices only (no diagnostics — those
+/// are an engine feature).
+#[derive(Debug, Clone)]
+pub struct ReferenceRun {
+    /// Query-side scores.
+    pub queries: ScoreMatrix,
+    /// Ad-side scores.
+    pub ads: ScoreMatrix,
+}
+
+/// Runs the same Jacobi loop as [`super::run`] with per-iteration
+/// `FxHashMap` accumulation.
+pub fn run_hashmap<T: Transition>(
+    g: &ClickGraph,
+    config: &SimrankConfig,
+    transition: &T,
+) -> ReferenceRun {
+    config.validate().expect("invalid SimRank configuration");
+    let factors = transition.factors(g);
+    let threads = config.effective_threads();
+
+    let mut q_scores = ScoreMatrixBuilder::new(g.n_queries());
+    let mut a_scores = ScoreMatrixBuilder::new(g.n_ads());
+
+    for _ in 0..config.iterations {
+        let a_entries: Vec<(PairKey, f64)> = a_scores.iter().collect();
+        let next_q = propagate_hashmap(
+            g.n_queries(),
+            g.n_ads(),
+            |a| {
+                let (qs, _) = g.queries_of(AdId(a));
+                let lo = g.ad_csr_offset(AdId(a));
+                (qs, &factors.ad_to_query[lo..lo + qs.len()])
+            },
+            &a_entries,
+            config.c1,
+            config.prune_threshold,
+            threads,
+        );
+        let q_entries: Vec<(PairKey, f64)> = q_scores.iter().collect();
+        let next_a = propagate_hashmap(
+            g.n_ads(),
+            g.n_queries(),
+            |q| {
+                let (ads, _) = g.ads_of(QueryId(q));
+                let lo = g.query_csr_offset(QueryId(q));
+                (ads, &factors.query_to_ad[lo..lo + ads.len()])
+            },
+            &q_entries,
+            config.c2,
+            config.prune_threshold,
+            threads,
+        );
+        q_scores = next_q;
+        a_scores = next_a;
+    }
+
+    ReferenceRun {
+        queries: q_scores.build(),
+        ads: a_scores.build(),
+    }
+}
+
+fn propagate_hashmap<'g, I, RowFn>(
+    n_targets: usize,
+    n_sources: usize,
+    row: RowFn,
+    prev: &[(PairKey, f64)],
+    c: f64,
+    prune_threshold: f64,
+    threads: usize,
+) -> ScoreMatrixBuilder
+where
+    I: NodeId + 'g,
+    RowFn: Fn(u32) -> (&'g [I], &'g [f64]) + Sync,
+{
+    // Same scatter loop as the flat path — only the sink differs.
+    let pieces = parallel::run_chunked(prev.len() + n_sources, threads, |range| {
+        let mut acc = ScoreMatrixBuilder::new(n_targets);
+        super::scatter_chunk(range, prev, &row, &mut acc);
+        acc
+    });
+    let mut merged = ScoreMatrixBuilder::new(n_targets);
+    for p in pieces {
+        merged.merge(p);
+    }
+    merged.map_scores(|_, v| c * v);
+    merged.prune(prune_threshold);
+    merged
+}

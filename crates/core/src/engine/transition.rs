@@ -1,0 +1,161 @@
+//! Per-edge transition factors — the only thing that distinguishes the
+//! SimRank variants inside the unified kernel.
+
+use crate::weighted::{SpreadMode, TransitionWeights};
+use simrankpp_graph::{ClickGraph, WeightKind};
+
+/// Precomputed per-edge factors in both CSR orders.
+///
+/// The kernel walks *source* rows: when ad-pair scores propagate to query
+/// pairs it iterates each ad's query list, so the factor attached to edge
+/// `(q, a)` must be addressable per ad row — and symmetrically for the other
+/// direction.
+#[derive(Debug, Clone)]
+pub struct TransitionFactors {
+    /// `F(q, a)` per (ad → query) CSR edge, ad-major: the weight with which
+    /// ad-side scores flow into query `q` through ad `a`.
+    pub ad_to_query: Vec<f64>,
+    /// `F(a, q)` per (query → ad) CSR edge, query-major.
+    pub query_to_ad: Vec<f64>,
+}
+
+/// A SimRank variant's walk model: produces the per-edge factor tables.
+pub trait Transition: Sync {
+    /// Display name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Computes both factor tables for `g`.
+    fn factors(&self, g: &ClickGraph) -> TransitionFactors;
+}
+
+/// §4's uniform walk: `F(q, a) = 1/N(q)` and `F(a, q) = 1/N(a)` — equivalent
+/// to the classic `C/(N·N')` prefactor, applied per edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformTransition;
+
+impl Transition for UniformTransition {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn factors(&self, g: &ClickGraph) -> TransitionFactors {
+        let inv_q: Vec<f64> = g
+            .queries()
+            .map(|q| 1.0 / g.query_degree(q) as f64)
+            .collect();
+        let inv_a: Vec<f64> = g.ads().map(|a| 1.0 / g.ad_degree(a) as f64).collect();
+
+        let mut ad_to_query = Vec::with_capacity(g.n_edges());
+        for a in g.ads() {
+            let (qs, _) = g.queries_of(a);
+            ad_to_query.extend(qs.iter().map(|q| inv_q[q.index()]));
+        }
+        let mut query_to_ad = Vec::with_capacity(g.n_edges());
+        for q in g.queries() {
+            let (ads, _) = g.ads_of(q);
+            query_to_ad.extend(ads.iter().map(|a| inv_a[a.index()]));
+        }
+        TransitionFactors {
+            ad_to_query,
+            query_to_ad,
+        }
+    }
+}
+
+/// §8.2's weight-consistent walk:
+/// `F(q, a) = W(q, a) = spread(a) · normalized_weight(q, a)`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedTransition {
+    /// Which §2 edge weight feeds the normalized weights.
+    pub kind: WeightKind,
+    /// Whether the `e^(−variance)` spread factor applies (ablation knob).
+    pub spread: SpreadMode,
+}
+
+impl Transition for WeightedTransition {
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+
+    fn factors(&self, g: &ClickGraph) -> TransitionFactors {
+        let tw = TransitionWeights::compute_with_spread(g, self.kind, self.spread);
+        TransitionFactors {
+            ad_to_query: ad_csr_aligned_query_factors(g, &tw),
+            query_to_ad: query_csr_aligned_ad_factors(g, &tw),
+        }
+    }
+}
+
+/// `W(q, a)` values re-laid-out in ad-CSR order (entry per (a ← q) edge).
+fn ad_csr_aligned_query_factors(g: &ClickGraph, tw: &TransitionWeights) -> Vec<f64> {
+    let mut out = vec![0.0; g.n_edges()];
+    let mut q_edge_idx = 0usize;
+    for q in g.queries() {
+        let (ads, _) = g.ads_of(q);
+        for &a in ads {
+            let (qs, _) = g.queries_of(a);
+            let pos = qs.binary_search(&q).expect("edge present in transpose");
+            out[g.ad_csr_offset(a) + pos] = tw.w_query_to_ad[q_edge_idx];
+            q_edge_idx += 1;
+        }
+    }
+    out
+}
+
+/// `W(a, q)` values re-laid-out in query-CSR order (entry per (q ← a) edge).
+fn query_csr_aligned_ad_factors(g: &ClickGraph, tw: &TransitionWeights) -> Vec<f64> {
+    let mut out = vec![0.0; g.n_edges()];
+    let mut a_edge_idx = 0usize;
+    for a in g.ads() {
+        let (qs, _) = g.queries_of(a);
+        for &q in qs {
+            let (ads, _) = g.ads_of(q);
+            let pos = ads.binary_search(&a).expect("edge present in transpose");
+            out[g.query_csr_offset(q) + pos] = tw.w_ad_to_query[a_edge_idx];
+            a_edge_idx += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::fixtures::{figure3_graph, figure4_k22};
+    use simrankpp_graph::{AdId, QueryId};
+
+    #[test]
+    fn uniform_factors_are_inverse_degrees() {
+        let g = figure3_graph();
+        let f = UniformTransition.factors(&g);
+        assert_eq!(f.ad_to_query.len(), g.n_edges());
+        assert_eq!(f.query_to_ad.len(), g.n_edges());
+        // Spot-check one row per direction.
+        let a0 = AdId(0);
+        let (qs, _) = g.queries_of(a0);
+        let lo = g.ad_csr_offset(a0);
+        for (x, &q) in qs.iter().enumerate() {
+            assert_eq!(f.ad_to_query[lo + x], 1.0 / g.query_degree(q) as f64);
+        }
+        let q0 = QueryId(0);
+        let (ads, _) = g.ads_of(q0);
+        let lo = g.query_csr_offset(q0);
+        for (x, &a) in ads.iter().enumerate() {
+            assert_eq!(f.query_to_ad[lo + x], 1.0 / g.ad_degree(a) as f64);
+        }
+    }
+
+    #[test]
+    fn weighted_factors_on_uniform_graph_match_uniform() {
+        // Equal weights: W(q, a) = 1/N(q), so both transitions agree exactly.
+        let g = figure4_k22();
+        let u = UniformTransition.factors(&g);
+        let w = WeightedTransition {
+            kind: WeightKind::Clicks,
+            spread: SpreadMode::Exponential,
+        }
+        .factors(&g);
+        assert_eq!(u.ad_to_query, w.ad_to_query);
+        assert_eq!(u.query_to_ad, w.query_to_ad);
+    }
+}

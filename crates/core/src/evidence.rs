@@ -108,28 +108,40 @@ pub fn apply_evidence(
     raw: SimrankResult,
     kind: EvidenceKind,
 ) -> EvidenceSimrankResult {
+    let (queries, ads) = evidence_multiply(g, &raw.queries, &raw.ads, kind);
+    EvidenceSimrankResult {
+        queries,
+        ads,
+        raw,
+        kind,
+    }
+}
+
+/// The Eq. 7.5/7.6 read-out on bare score matrices: every stored pair is
+/// multiplied by its evidence factor, and zero-evidence pairs are dropped.
+/// Shared by evidence-based SimRank (§7) and weighted SimRank (§8), which
+/// apply the same read-out to different walks.
+pub fn evidence_multiply(
+    g: &ClickGraph,
+    raw_queries: &ScoreMatrix,
+    raw_ads: &ScoreMatrix,
+    kind: EvidenceKind,
+) -> (ScoreMatrix, ScoreMatrix) {
     let mut qb = ScoreMatrixBuilder::new(g.n_queries());
-    for (a, b, v) in raw.queries.iter() {
-        let n = g.common_ads(QueryId(a), QueryId(b));
-        let ev = kind.value(n);
+    for (a, b, v) in raw_queries.iter() {
+        let ev = kind.value(g.common_ads(QueryId(a), QueryId(b)));
         if ev > 0.0 {
             qb.set(a, b, ev * v);
         }
     }
     let mut ab = ScoreMatrixBuilder::new(g.n_ads());
-    for (a, b, v) in raw.ads.iter() {
-        let n = g.common_queries(AdId(a), AdId(b));
-        let ev = kind.value(n);
+    for (a, b, v) in raw_ads.iter() {
+        let ev = kind.value(g.common_queries(AdId(a), AdId(b)));
         if ev > 0.0 {
             ab.set(a, b, ev * v);
         }
     }
-    EvidenceSimrankResult {
-        queries: qb.build(),
-        ads: ab.build(),
-        raw,
-        kind,
-    }
+    (qb.build(), ab.build())
 }
 
 #[cfg(test)]
@@ -168,6 +180,22 @@ mod tests {
                 prev = v;
             }
         }
+    }
+
+    #[test]
+    fn appendix_b1_typo_uses_eq_7_3() {
+        // Appendix B.1 writes the K2,2 evidence factor as (1/2 + 1/3); the
+        // numbers in Table 4 use Eq. 7.3's geometric sum 1/2 + 1/4 = 3/4.
+        // This invariant pins the implementation to Eq. 7.3 / Table 4 so the
+        // documented typo-handling cannot silently regress.
+        assert_eq!(evidence_geometric(2), 0.75);
+        assert_ne!(evidence_geometric(2), 0.5 + 1.0 / 3.0);
+        // The factor actually applied on K2,2 (two common ads) is 3/4: the
+        // evidence-based score is exactly 0.75 × the plain SimRank score.
+        let g = figure4_k22();
+        let r = evidence_simrank(&g, &cfg(3), EvidenceKind::Geometric);
+        let plain = crate::simrank::simrank(&g, &cfg(3));
+        assert_eq!(r.queries.get(0, 1), 0.75 * plain.queries.get(0, 1));
     }
 
     #[test]

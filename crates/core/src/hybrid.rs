@@ -15,7 +15,7 @@
 
 use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
 use simrankpp_graph::ClickGraph;
-use simrankpp_text::{normalize_query, tokenize, stem};
+use simrankpp_text::{normalize_query, stem, tokenize};
 use simrankpp_util::FxHashSet;
 
 /// Jaccard similarity of two queries' stemmed token sets.

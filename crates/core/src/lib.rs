@@ -3,10 +3,17 @@
 //! This crate implements every similarity scheme the paper studies:
 //!
 //! * [`naive`] — §3's common-ad count (Table 1);
-//! * [`mod@simrank`] — §4's bipartite SimRank (Eq. 4.1/4.2), with dense and
-//!   sparse-pruned engines and optional crossbeam parallelism;
+//! * [`engine`] — the unified sparse propagation kernel all recursive
+//!   variants run on: a [`engine::Transition`] abstracts the per-edge walk
+//!   factor, one flat sorted-pair accumulation kernel propagates scores,
+//!   shared chunked parallelism, threshold pruning, per-iteration
+//!   `pair_counts`/max-delta diagnostics and tolerance-based early exit;
+//! * [`mod@simrank`] — §4's bipartite SimRank (Eq. 4.1/4.2): a thin
+//!   front-end over [`engine`] with the uniform `1/N` transition, plus a
+//!   dense cross-validation oracle;
 //! * [`evidence`] — §7's evidence-based SimRank (Eq. 7.3–7.6);
-//! * [`weighted`] — §8's weighted SimRank (spread × normalized-weight walk);
+//! * [`weighted`] — §8's weighted SimRank (spread × normalized-weight walk),
+//!   the same engine kernel with [`engine::WeightedTransition`];
 //! * [`pearson`] — §9.1's Pearson-correlation baseline;
 //! * [`desirability`] — §9.3's desirability score for the edge-removal
 //!   experiment;
@@ -27,6 +34,7 @@
 pub mod complete_bipartite;
 pub mod config;
 pub mod desirability;
+pub mod engine;
 pub mod evidence;
 pub mod hybrid;
 pub mod method;
@@ -39,6 +47,7 @@ pub mod simrank;
 pub mod weighted;
 
 pub use config::SimrankConfig;
+pub use engine::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
 pub use evidence::{evidence_exponential, evidence_geometric, EvidenceKind};
 pub use method::{Method, MethodKind};
 pub use rewriter::{Rewrite, Rewriter, RewriterConfig};

@@ -148,11 +148,7 @@ impl Method {
     /// `(final, raw)` similarity of a pair; raw falls back to final.
     pub fn score_with_tiebreak(&self, q1: QueryId, q2: QueryId) -> (f64, f64) {
         let f = self.scores.get(q1.0, q2.0);
-        let r = self
-            .raw
-            .as_ref()
-            .map(|m| m.get(q1.0, q2.0))
-            .unwrap_or(f);
+        let r = self.raw.as_ref().map(|m| m.get(q1.0, q2.0)).unwrap_or(f);
         (f, r)
     }
 

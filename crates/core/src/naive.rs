@@ -67,10 +67,7 @@ mod tests {
         for q1 in g.queries() {
             for q2 in g.queries() {
                 if q1 < q2 {
-                    assert_eq!(
-                        m.get(q1.0, q2.0),
-                        naive_similarity(&g, q1, q2) as f64
-                    );
+                    assert_eq!(m.get(q1.0, q2.0), naive_similarity(&g, q1, q2) as f64);
                 }
             }
         }

@@ -76,9 +76,7 @@ impl<'g> Rewriter<'g> {
         let candidates = self.method.ranked_candidates(q, self.config.max_candidates);
 
         let mut deduper = if self.config.stem_dedup {
-            self.graph
-                .query_name(q)
-                .map(StemDeduper::seeded_with)
+            self.graph.query_name(q).map(StemDeduper::seeded_with)
         } else {
             None
         };
@@ -119,11 +117,7 @@ impl<'g> Rewriter<'g> {
     }
 
     /// §9.4 *coverage* over a query sample: the fraction with ≥ 1 rewrite.
-    pub fn coverage(
-        &self,
-        queries: &[QueryId],
-        bid_terms: Option<&FxHashSet<QueryId>>,
-    ) -> f64 {
+    pub fn coverage(&self, queries: &[QueryId], bid_terms: Option<&FxHashSet<QueryId>>) -> f64 {
         if queries.is_empty() {
             return 0.0;
         }
@@ -143,8 +137,7 @@ mod tests {
     use simrankpp_graph::fixtures::figure3_graph;
 
     fn rewriter(g: &ClickGraph, kind: MethodKind) -> Rewriter<'_> {
-        let cfg = SimrankConfig::default()
-            .with_weight_kind(simrankpp_graph::WeightKind::Clicks);
+        let cfg = SimrankConfig::default().with_weight_kind(simrankpp_graph::WeightKind::Clicks);
         Rewriter::new(g, Method::compute(kind, g, &cfg), RewriterConfig::default())
     }
 
@@ -217,11 +210,7 @@ mod tests {
             ..RewriterConfig::default()
         };
         let scfg = SimrankConfig::default();
-        let r = Rewriter::new(
-            &g,
-            Method::compute(MethodKind::Simrank, &g, &scfg),
-            cfg,
-        );
+        let r = Rewriter::new(&g, Method::compute(MethodKind::Simrank, &g, &scfg), cfg);
         let camera = g.query_by_name("camera").unwrap();
         assert!(r.rewrites(camera, None).len() <= 1);
     }

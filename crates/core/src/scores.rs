@@ -76,11 +76,8 @@ impl ScoreMatrixBuilder {
     /// Freezes into the read-optimized [`ScoreMatrix`]. Non-positive scores
     /// are dropped.
     pub fn build(self) -> ScoreMatrix {
-        let mut sorted: Vec<(PairKey, f64)> = self
-            .entries
-            .into_iter()
-            .filter(|&(_, v)| v > 0.0)
-            .collect();
+        let mut sorted: Vec<(PairKey, f64)> =
+            self.entries.into_iter().filter(|&(_, v)| v > 0.0).collect();
         sorted.sort_unstable_by_key(|&(k, _)| k.raw());
 
         let mut by_node: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.n];
@@ -106,7 +103,10 @@ impl ScoreMatrixBuilder {
         if a == b {
             1.0
         } else {
-            self.entries.get(&PairKey::new(a, b)).copied().unwrap_or(0.0)
+            self.entries
+                .get(&PairKey::new(a, b))
+                .copied()
+                .unwrap_or(0.0)
         }
     }
 
@@ -134,6 +134,31 @@ impl ScoreMatrix {
             pairs: Vec::new(),
             by_node: vec![Vec::new(); n],
         }
+    }
+
+    /// Freezes an already key-sorted, duplicate-free pair list (the unified
+    /// engine's iterate format) without the hash-map detour of
+    /// [`ScoreMatrixBuilder`]. Non-positive scores are dropped.
+    ///
+    /// # Panics
+    /// Debug builds panic if `pairs` is not strictly sorted by packed key.
+    pub fn from_sorted_pairs(n: usize, mut pairs: Vec<(PairKey, f64)>) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()),
+            "pairs must be strictly sorted by key"
+        );
+        pairs.retain(|&(_, v)| v > 0.0);
+        let mut by_node: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for &(k, v) in &pairs {
+            let (a, b) = k.parts();
+            by_node[a as usize].push((b, v));
+            by_node[b as usize].push((a, v));
+        }
+        for row in &mut by_node {
+            row.sort_unstable_by_key(|&(other, _)| other);
+            row.shrink_to_fit();
+        }
+        ScoreMatrix { n, pairs, by_node }
     }
 
     /// Number of nodes on this side.

@@ -11,22 +11,22 @@
 //!
 //! Two engines:
 //!
-//! * [`simrank`] — sparse: pair scores live in hash maps keyed by unordered
-//!   pairs; each iteration propagates every stored ad-pair score to the query
-//!   pairs it supports (and vice versa), so work is proportional to
-//!   `Σ_{(i,j)∈support} N(i)·N(j)` rather than `|Q|²`. Exact when
-//!   `prune_threshold == 0`; with a threshold it drops negligible pairs each
-//!   iteration, which is what makes 10⁵-node graphs feasible.
+//! * [`simrank`] — sparse: a thin front-end over the unified propagation
+//!   kernel in [`crate::engine`] with the uniform `1/N` transition
+//!   ([`crate::engine::UniformTransition`]). Work is proportional to
+//!   `Σ_{(i,j)∈support} N(i)·N(j)` rather than `|Q|²`; exact when
+//!   `config.prune_threshold == 0`, and pruning plus the
+//!   `config.tolerance` early exit make 10⁵-node graphs feasible.
 //! * [`simrank_dense`] — a straightforward O(n²·d²) reference used to
 //!   cross-validate the sparse engine and for the paper's small examples.
 //!
-//! Both parallelize across crossbeam scoped threads when
+//! The sparse path parallelizes across scoped threads when
 //! `config.threads != 1`.
 
 use crate::config::SimrankConfig;
+use crate::engine::{self, UniformTransition};
 use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
 use simrankpp_graph::{AdId, ClickGraph, QueryId};
-use simrankpp_util::PairKey;
 
 /// Output of a SimRank computation.
 #[derive(Debug, Clone)]
@@ -37,179 +37,44 @@ pub struct SimrankResult {
     pub ads: ScoreMatrix,
     /// The configuration used.
     pub config: SimrankConfig,
-    /// Stored (query-pairs, ad-pairs) counts after each iteration —
+    /// Stored (query-pairs, ad-pairs) counts after each executed iteration —
     /// diagnostics for the pruning ablation.
     pub pair_counts: Vec<(usize, usize)>,
+    /// Largest per-pair score change (both sides) at each executed iteration
+    /// — the convergence trajectory.
+    pub max_deltas: Vec<f64>,
+    /// Iterations actually executed (less than `config.iterations` when the
+    /// `config.tolerance` early exit fires).
+    pub iterations_run: usize,
+    /// Whether iteration stopped because the max delta reached
+    /// `config.tolerance`.
+    pub converged: bool,
 }
 
-/// Runs sparse bipartite SimRank for `config.iterations` iterations.
+impl SimrankResult {
+    pub(crate) fn from_engine(run: engine::EngineRun, config: &SimrankConfig) -> Self {
+        SimrankResult {
+            queries: run.queries,
+            ads: run.ads,
+            config: *config,
+            pair_counts: run.pair_counts,
+            max_deltas: run.max_deltas,
+            iterations_run: run.iterations_run,
+            converged: run.converged,
+        }
+    }
+}
+
+/// Runs sparse bipartite SimRank through the unified engine.
 pub fn simrank(g: &ClickGraph, config: &SimrankConfig) -> SimrankResult {
-    config.validate().expect("invalid SimRank configuration");
-    let mut q_scores = ScoreMatrixBuilder::new(g.n_queries());
-    let mut a_scores = ScoreMatrixBuilder::new(g.n_ads());
-    let mut pair_counts = Vec::with_capacity(config.iterations);
-
-    for _ in 0..config.iterations {
-        let next_q = update_query_side(g, &a_scores, config);
-        let next_a = update_ad_side(g, &q_scores, config);
-        q_scores = next_q;
-        a_scores = next_a;
-        pair_counts.push((q_scores.len(), a_scores.len()));
-    }
-
-    SimrankResult {
-        queries: q_scores.build(),
-        ads: a_scores.build(),
-        config: *config,
-        pair_counts,
-    }
-}
-
-/// One Jacobi update of the query side from the previous ad-side scores.
-fn update_query_side(
-    g: &ClickGraph,
-    prev_ads: &ScoreMatrixBuilder,
-    config: &SimrankConfig,
-) -> ScoreMatrixBuilder {
-    let entries: Vec<(PairKey, f64)> = prev_ads.iter().collect();
-    let threads = config.effective_threads();
-
-    // Contribution of stored ad pairs (i ≠ j): each ordered neighbor
-    // combination (q ∈ E(i), q' ∈ E(j)) receives s(i,j).
-    let from_pairs = parallel_chunks(entries.len(), threads, g.n_queries(), |range, acc| {
-        for &(key, s) in &entries[range] {
-            let (i, j) = key.parts();
-            let (qs_i, _) = g.queries_of(AdId(i));
-            let (qs_j, _) = g.queries_of(AdId(j));
-            for &qa in qs_i {
-                for &qb in qs_j {
-                    if qa != qb {
-                        acc.add(qa.0, qb.0, s);
-                    }
-                }
-            }
-        }
-    });
-
-    // Contribution of the unit ad diagonal: one per common ad.
-    let from_diagonal = parallel_chunks(g.n_ads(), threads, g.n_queries(), |range, acc| {
-        for ai in range {
-            let (qs, _) = g.queries_of(AdId(ai as u32));
-            for (x, &qa) in qs.iter().enumerate() {
-                for &qb in &qs[x + 1..] {
-                    acc.add(qa.0, qb.0, 1.0);
-                }
-            }
-        }
-    });
-
-    let mut acc = from_pairs;
-    acc.merge(from_diagonal);
-    // Scale by C1 / (N(q)·N(q')) and prune.
-    acc.map_scores(|key, v| {
-        let (qa, qb) = key.parts();
-        let na = g.query_degree(QueryId(qa)) as f64;
-        let nb = g.query_degree(QueryId(qb)) as f64;
-        config.c1 * v / (na * nb)
-    });
-    acc.prune(config.prune_threshold);
-    acc
-}
-
-/// One Jacobi update of the ad side from the previous query-side scores.
-fn update_ad_side(
-    g: &ClickGraph,
-    prev_queries: &ScoreMatrixBuilder,
-    config: &SimrankConfig,
-) -> ScoreMatrixBuilder {
-    let entries: Vec<(PairKey, f64)> = prev_queries.iter().collect();
-    let threads = config.effective_threads();
-
-    let from_pairs = parallel_chunks(entries.len(), threads, g.n_ads(), |range, acc| {
-        for &(key, s) in &entries[range] {
-            let (i, j) = key.parts();
-            let (ads_i, _) = g.ads_of(QueryId(i));
-            let (ads_j, _) = g.ads_of(QueryId(j));
-            for &aa in ads_i {
-                for &ab in ads_j {
-                    if aa != ab {
-                        acc.add(aa.0, ab.0, s);
-                    }
-                }
-            }
-        }
-    });
-
-    let from_diagonal = parallel_chunks(g.n_queries(), threads, g.n_ads(), |range, acc| {
-        for qi in range {
-            let (ads, _) = g.ads_of(QueryId(qi as u32));
-            for (x, &aa) in ads.iter().enumerate() {
-                for &ab in &ads[x + 1..] {
-                    acc.add(aa.0, ab.0, 1.0);
-                }
-            }
-        }
-    });
-
-    let mut acc = from_pairs;
-    acc.merge(from_diagonal);
-    acc.map_scores(|key, v| {
-        let (aa, ab) = key.parts();
-        let na = g.ad_degree(AdId(aa)) as f64;
-        let nb = g.ad_degree(AdId(ab)) as f64;
-        config.c2 * v / (na * nb)
-    });
-    acc.prune(config.prune_threshold);
-    acc
-}
-
-/// Splits `0..n_items` into `threads` contiguous chunks, runs `work` on each
-/// (serially when `threads == 1`), and merges the per-chunk accumulators.
-fn parallel_chunks<F>(
-    n_items: usize,
-    threads: usize,
-    n_nodes: usize,
-    work: F,
-) -> ScoreMatrixBuilder
-where
-    F: Fn(std::ops::Range<usize>, &mut ScoreMatrixBuilder) + Sync,
-{
-    if threads <= 1 || n_items < 1024 {
-        let mut acc = ScoreMatrixBuilder::new(n_nodes);
-        work(0..n_items, &mut acc);
-        return acc;
-    }
-    let chunk = n_items.div_ceil(threads);
-    let mut partials: Vec<ScoreMatrixBuilder> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = (t * chunk).min(n_items);
-                let hi = ((t + 1) * chunk).min(n_items);
-                let work = &work;
-                scope.spawn(move |_| {
-                    let mut acc = ScoreMatrixBuilder::new(n_nodes);
-                    work(lo..hi, &mut acc);
-                    acc
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("simrank worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    let mut merged = ScoreMatrixBuilder::new(n_nodes);
-    for p in partials {
-        merged.merge(p);
-    }
-    merged
+    SimrankResult::from_engine(engine::run(g, config, &UniformTransition), config)
 }
 
 /// Dense reference implementation (O((|Q|² + |A|²)·d²) per iteration).
 ///
 /// Exact Jacobi iteration over full matrices; intended for graphs up to a
-/// few thousand nodes (tests, paper tables, cross-validation).
+/// few thousand nodes (tests, paper tables, cross-validation of the sparse
+/// engine). Records no diagnostics.
 pub fn simrank_dense(g: &ClickGraph, config: &SimrankConfig) -> SimrankResult {
     config.validate().expect("invalid SimRank configuration");
     let nq = g.n_queries();
@@ -283,10 +148,14 @@ pub fn simrank_dense(g: &ClickGraph, config: &SimrankConfig) -> SimrankResult {
         ads: ab.build(),
         config: *config,
         pair_counts: Vec::new(),
+        max_deltas: Vec::new(),
+        iterations_run: config.iterations,
+        converged: false,
     }
 }
 
-fn identity(n: usize) -> Vec<f64> {
+/// Flat n x n identity matrix (shared with the weighted dense oracle).
+pub(crate) fn identity(n: usize) -> Vec<f64> {
     let mut m = vec![0.0; n * n];
     for i in 0..n {
         m[i * n + i] = 1.0;
@@ -404,7 +273,9 @@ mod tests {
         let mut b = ClickGraphBuilder::new();
         let mut x: u64 = 99;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let q = ((x >> 33) % 30) as u32;
             let a = ((x >> 13) % 25) as u32;
             b.add_edge(QueryId(q), AdId(a), EdgeData::from_clicks(1));
@@ -426,7 +297,9 @@ mod tests {
         let mut b = ClickGraphBuilder::new();
         let mut x: u64 = 7;
         for _ in 0..3000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let q = ((x >> 33) % 400) as u32;
             let a = ((x >> 13) % 300) as u32;
             b.add_edge(QueryId(q), AdId(a), EdgeData::from_clicks(1));
@@ -500,5 +373,29 @@ mod tests {
         let r = simrank(&g, &cfg(3));
         assert_eq!(r.pair_counts.len(), 3);
         assert!(r.pair_counts[2].0 >= r.pair_counts[0].0);
+    }
+
+    #[test]
+    fn convergence_diagnostics_recorded() {
+        let g = figure3_graph();
+        let r = simrank(&g, &cfg(8));
+        assert_eq!(r.max_deltas.len(), 8);
+        assert_eq!(r.iterations_run, 8);
+        assert!(!r.converged);
+        // Geometric decay: late deltas are below early ones.
+        assert!(r.max_deltas[7] < r.max_deltas[0]);
+    }
+
+    #[test]
+    fn tolerance_early_exit_matches_full_run() {
+        let g = figure3_graph();
+        let full = simrank(&g, &cfg(60));
+        let tol = simrank(&g, &cfg(60).with_tolerance(1e-9));
+        assert!(tol.converged);
+        assert!(tol.iterations_run < 60);
+        assert!(full.queries.max_abs_diff(&tol.queries) < 1e-7);
+        assert_eq!(tol.pair_counts.len(), tol.iterations_run);
+        assert_eq!(tol.max_deltas.len(), tol.iterations_run);
+        assert!(*tol.max_deltas.last().unwrap() <= 1e-9);
     }
 }

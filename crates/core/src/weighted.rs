@@ -18,10 +18,11 @@
 //! `1/(N·N')` prefactor: the `W` factors already normalize the walk, and the
 //! leftover probability mass `1 − Σ_i p(α,i)` is the self-transition.
 //!
-//! As in the evidence module, the recursion iterates the *walk* part and the
-//! evidence factor multiplies at read-out; the raw walk scores are kept for
-//! tie-breaking (see `evidence.rs` for why the paper's Figure 12 requires
-//! this).
+//! The walk recursion itself runs on the unified kernel in [`crate::engine`]
+//! via [`crate::engine::WeightedTransition`] — this module only computes the
+//! `W` factor tables ([`TransitionWeights`]) and applies the evidence factor
+//! at read-out; the raw walk scores are kept for tie-breaking (see
+//! `evidence.rs` for why the paper's Figure 12 requires this).
 //!
 //! A practical note the paper's §9.2 choice of edge weight quietly depends
 //! on: `spread = e^(−variance)` is *scale sensitive*. With raw click counts a
@@ -30,7 +31,8 @@
 //! variances stay small. This is reproduced by the `ablation_weights` bench.
 
 use crate::config::SimrankConfig;
-use crate::evidence::EvidenceKind;
+use crate::engine::{self, WeightedTransition};
+use crate::evidence::{evidence_multiply, EvidenceKind};
 use crate::scores::{ScoreMatrix, ScoreMatrixBuilder};
 use simrankpp_graph::{AdId, ClickGraph, QueryId, WeightKind};
 use simrankpp_util::population_variance;
@@ -96,7 +98,11 @@ impl TransitionWeights {
             let (ads, edges) = g.ads_of(q);
             let total: f64 = edges.iter().map(|e| e.weight(kind)).sum();
             for (&a, e) in ads.iter().zip(edges) {
-                let nw = if total > 0.0 { e.weight(kind) / total } else { 0.0 };
+                let nw = if total > 0.0 {
+                    e.weight(kind) / total
+                } else {
+                    0.0
+                };
                 w_query_to_ad.push(spread_ad[a.index()] * nw);
             }
         }
@@ -106,7 +112,11 @@ impl TransitionWeights {
             let (qs, edges) = g.queries_of(a);
             let total: f64 = edges.iter().map(|e| e.weight(kind)).sum();
             for (&q, e) in qs.iter().zip(edges) {
-                let nw = if total > 0.0 { e.weight(kind) / total } else { 0.0 };
+                let nw = if total > 0.0 {
+                    e.weight(kind) / total
+                } else {
+                    0.0
+                };
                 w_ad_to_query.push(spread_query[q.index()] * nw);
             }
         }
@@ -149,6 +159,15 @@ pub struct WeightedSimrankResult {
     pub config: SimrankConfig,
     /// Evidence formula used.
     pub evidence: EvidenceKind,
+    /// Stored (query-pairs, ad-pairs) counts per executed iteration — the
+    /// same diagnostics plain SimRank reports, from the shared engine.
+    pub pair_counts: Vec<(usize, usize)>,
+    /// Largest per-pair score change at each executed iteration.
+    pub max_deltas: Vec<f64>,
+    /// Iterations actually executed.
+    pub iterations_run: usize,
+    /// Whether the `config.tolerance` early exit fired.
+    pub converged: bool,
 }
 
 /// Runs weighted SimRank: evidence × weighted-walk scores after
@@ -168,171 +187,101 @@ pub fn weighted_simrank_with_spread(
     evidence: EvidenceKind,
     spread: SpreadMode,
 ) -> WeightedSimrankResult {
-    config.validate().expect("invalid SimRank configuration");
-    let tw = TransitionWeights::compute_with_spread(g, config.weight_kind, spread);
-
-    // For the query-side update we iterate ads' neighbor lists, so realign
-    // the query→ad factors into ad-CSR order once (and vice versa).
-    let w_qa_by_ad = ad_csr_aligned_query_factors(g, &tw);
-    let w_aq_by_query = query_csr_aligned_ad_factors(g, &tw);
-
-    let mut q_scores = ScoreMatrixBuilder::new(g.n_queries());
-    let mut a_scores = ScoreMatrixBuilder::new(g.n_ads());
-
-    for _ in 0..config.iterations {
-        let next_q = update_query_side(g, &w_qa_by_ad, &a_scores, config);
-        let next_a = update_ad_side(g, &w_aq_by_query, &q_scores, config);
-        q_scores = next_q;
-        a_scores = next_a;
-    }
-
-    let raw_queries = q_scores.build();
-    let raw_ads = a_scores.build();
-
-    // Evidence at read-out.
-    let mut qb = ScoreMatrixBuilder::new(g.n_queries());
-    for (a, b, v) in raw_queries.iter() {
-        let ev = evidence.value(g.common_ads(QueryId(a), QueryId(b)));
-        if ev > 0.0 {
-            qb.set(a, b, ev * v);
-        }
-    }
-    let mut ab = ScoreMatrixBuilder::new(g.n_ads());
-    for (a, b, v) in raw_ads.iter() {
-        let ev = evidence.value(g.common_queries(AdId(a), AdId(b)));
-        if ev > 0.0 {
-            ab.set(a, b, ev * v);
-        }
-    }
-
+    let transition = WeightedTransition {
+        kind: config.weight_kind,
+        spread,
+    };
+    let run = engine::run(g, config, &transition);
+    let (queries, ads) = evidence_multiply(g, &run.queries, &run.ads, evidence);
     WeightedSimrankResult {
-        queries: qb.build(),
-        ads: ab.build(),
-        raw_queries,
-        raw_ads,
+        queries,
+        ads,
+        raw_queries: run.queries,
+        raw_ads: run.ads,
         config: *config,
         evidence,
+        pair_counts: run.pair_counts,
+        max_deltas: run.max_deltas,
+        iterations_run: run.iterations_run,
+        converged: run.converged,
     }
 }
 
-/// Query-side Jacobi update with `W` factors: the ad-pair entry `(i,j,s)`
-/// contributes `W(q,i)·W(q',j)·s` per ordered neighbor combination, and the
-/// unit ad diagonal contributes `W(q,i)·W(q',i)` per common ad `i`.
-fn update_query_side(
+/// Dense O(n²·d²) reference for the weighted walk (no evidence factor):
+/// exact Jacobi iteration of the §8.2 equations over full matrices. Used to
+/// cross-validate the sparse engine; intended for small graphs only.
+pub fn weighted_simrank_dense(
     g: &ClickGraph,
-    w_qa_by_ad: &[f64],
-    prev_ads: &ScoreMatrixBuilder,
     config: &SimrankConfig,
-) -> ScoreMatrixBuilder {
-    let mut acc = ScoreMatrixBuilder::new(g.n_queries());
+    spread: SpreadMode,
+) -> (ScoreMatrix, ScoreMatrix) {
+    config.validate().expect("invalid SimRank configuration");
+    let tw = TransitionWeights::compute_with_spread(g, config.weight_kind, spread);
+    let nq = g.n_queries();
+    let na = g.n_ads();
+    let mut q_mat = crate::simrank::identity(nq);
+    let mut a_mat = crate::simrank::identity(na);
 
-    for (key, s) in prev_ads.iter() {
-        let (i, j) = key.parts();
-        let (qs_i, _) = g.queries_of(AdId(i));
-        let (qs_j, _) = g.queries_of(AdId(j));
-        let wi = ad_row(w_qa_by_ad, g, AdId(i));
-        let wj = ad_row(w_qa_by_ad, g, AdId(j));
-        for (x, &qa) in qs_i.iter().enumerate() {
-            for (y, &qb) in qs_j.iter().enumerate() {
-                if qa != qb {
-                    acc.add(qa.0, qb.0, wi[x] * wj[y] * s);
+    for _ in 0..config.iterations {
+        let mut next_q = crate::simrank::identity(nq);
+        for q1 in 0..nq {
+            let (ads1, _) = g.ads_of(QueryId(q1 as u32));
+            let w1 = tw.from_query(g, QueryId(q1 as u32));
+            for q2 in (q1 + 1)..nq {
+                let (ads2, _) = g.ads_of(QueryId(q2 as u32));
+                let w2 = tw.from_query(g, QueryId(q2 as u32));
+                let mut sum = 0.0;
+                for (x, &i) in ads1.iter().enumerate() {
+                    for (y, &j) in ads2.iter().enumerate() {
+                        sum += w1[x] * w2[y] * a_mat[i.index() * na + j.index()];
+                    }
                 }
+                let v = config.c1 * sum;
+                next_q[q1 * nq + q2] = v;
+                next_q[q2 * nq + q1] = v;
             }
         }
-    }
-    for ai in 0..g.n_ads() {
-        let a = AdId(ai as u32);
-        let (qs, _) = g.queries_of(a);
-        let w = ad_row(w_qa_by_ad, g, a);
-        for x in 0..qs.len() {
-            for y in (x + 1)..qs.len() {
-                acc.add(qs[x].0, qs[y].0, w[x] * w[y]);
-            }
-        }
-    }
-
-    acc.map_scores(|_, v| config.c1 * v);
-    acc.prune(config.prune_threshold);
-    acc
-}
-
-/// Ad-side Jacobi update with `W` factors (mirror of the query side).
-fn update_ad_side(
-    g: &ClickGraph,
-    w_aq_by_query: &[f64],
-    prev_queries: &ScoreMatrixBuilder,
-    config: &SimrankConfig,
-) -> ScoreMatrixBuilder {
-    let mut acc = ScoreMatrixBuilder::new(g.n_ads());
-
-    for (key, s) in prev_queries.iter() {
-        let (i, j) = key.parts();
-        let (ads_i, _) = g.ads_of(QueryId(i));
-        let (ads_j, _) = g.ads_of(QueryId(j));
-        let wi = query_row(w_aq_by_query, g, QueryId(i));
-        let wj = query_row(w_aq_by_query, g, QueryId(j));
-        for (x, &aa) in ads_i.iter().enumerate() {
-            for (y, &ab) in ads_j.iter().enumerate() {
-                if aa != ab {
-                    acc.add(aa.0, ab.0, wi[x] * wj[y] * s);
+        let mut next_a = crate::simrank::identity(na);
+        for a1 in 0..na {
+            let (qs1, _) = g.queries_of(AdId(a1 as u32));
+            let w1 = tw.from_ad(g, AdId(a1 as u32));
+            for a2 in (a1 + 1)..na {
+                let (qs2, _) = g.queries_of(AdId(a2 as u32));
+                let w2 = tw.from_ad(g, AdId(a2 as u32));
+                let mut sum = 0.0;
+                for (x, &i) in qs1.iter().enumerate() {
+                    for (y, &j) in qs2.iter().enumerate() {
+                        sum += w1[x] * w2[y] * q_mat[i.index() * nq + j.index()];
+                    }
                 }
+                let v = config.c2 * sum;
+                next_a[a1 * na + a2] = v;
+                next_a[a2 * na + a1] = v;
+            }
+        }
+        q_mat = next_q;
+        a_mat = next_a;
+    }
+
+    let mut qb = ScoreMatrixBuilder::new(nq);
+    for q1 in 0..nq {
+        for q2 in (q1 + 1)..nq {
+            let v = q_mat[q1 * nq + q2];
+            if v > 0.0 {
+                qb.set(q1 as u32, q2 as u32, v);
             }
         }
     }
-    for qi in 0..g.n_queries() {
-        let q = QueryId(qi as u32);
-        let (ads, _) = g.ads_of(q);
-        let w = query_row(w_aq_by_query, g, q);
-        for x in 0..ads.len() {
-            for y in (x + 1)..ads.len() {
-                acc.add(ads[x].0, ads[y].0, w[x] * w[y]);
+    let mut ab = ScoreMatrixBuilder::new(na);
+    for a1 in 0..na {
+        for a2 in (a1 + 1)..na {
+            let v = a_mat[a1 * na + a2];
+            if v > 0.0 {
+                ab.set(a1 as u32, a2 as u32, v);
             }
         }
     }
-
-    acc.map_scores(|_, v| config.c2 * v);
-    acc.prune(config.prune_threshold);
-    acc
-}
-
-/// `W(q, a)` values re-laid-out in ad-CSR order (entry per (a ← q) edge).
-fn ad_csr_aligned_query_factors(g: &ClickGraph, tw: &TransitionWeights) -> Vec<f64> {
-    let mut out = vec![0.0; g.n_edges()];
-    let mut q_edge_idx = 0usize;
-    for q in g.queries() {
-        let (ads, _) = g.ads_of(q);
-        for &a in ads {
-            let (qs, _) = g.queries_of(a);
-            let pos = qs.binary_search(&q).expect("edge present in transpose");
-            out[g.ad_csr_offset(a) + pos] = tw.w_query_to_ad[q_edge_idx];
-            q_edge_idx += 1;
-        }
-    }
-    out
-}
-
-/// `W(a, q)` values re-laid-out in query-CSR order (entry per (q ← a) edge).
-fn query_csr_aligned_ad_factors(g: &ClickGraph, tw: &TransitionWeights) -> Vec<f64> {
-    let mut out = vec![0.0; g.n_edges()];
-    let mut a_edge_idx = 0usize;
-    for a in g.ads() {
-        let (qs, _) = g.queries_of(a);
-        for &q in qs {
-            let (ads, _) = g.ads_of(q);
-            let pos = ads.binary_search(&a).expect("edge present in transpose");
-            out[g.query_csr_offset(q) + pos] = tw.w_ad_to_query[a_edge_idx];
-            a_edge_idx += 1;
-        }
-    }
-    out
-}
-
-fn ad_row<'a>(values: &'a [f64], g: &ClickGraph, a: AdId) -> &'a [f64] {
-    &values[g.ad_csr_offset(a)..g.ad_csr_offset(AdId(a.0 + 1))]
-}
-
-fn query_row<'a>(values: &'a [f64], g: &ClickGraph, q: QueryId) -> &'a [f64] {
-    &values[g.query_csr_offset(q)..g.query_csr_offset(QueryId(q.0 + 1))]
+    (qb.build(), ab.build())
 }
 
 /// One-iteration weighted-walk score of two queries sharing a single ad with
@@ -480,6 +429,33 @@ mod tests {
         for (_, _, v) in r.queries.iter() {
             assert!(v > 0.0 && v <= 1.0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn sparse_matches_weighted_dense() {
+        let (left, _) = figure5_graphs();
+        for spread in [SpreadMode::Exponential, SpreadMode::Off] {
+            let sparse =
+                weighted_simrank_with_spread(&left, &cfg(5), EvidenceKind::Geometric, spread);
+            let (dense_q, dense_a) = weighted_simrank_dense(&left, &cfg(5), spread);
+            assert!(
+                sparse.raw_queries.max_abs_diff(&dense_q) < 1e-12,
+                "spread {spread:?}: drift {}",
+                sparse.raw_queries.max_abs_diff(&dense_q)
+            );
+            assert!(sparse.raw_ads.max_abs_diff(&dense_a) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagnostics_reported_for_weighted_variant() {
+        let g = figure3_graph();
+        let r = weighted_simrank(&g, &cfg(5), EvidenceKind::Geometric);
+        assert_eq!(r.pair_counts.len(), 5);
+        assert_eq!(r.max_deltas.len(), 5);
+        assert_eq!(r.iterations_run, 5);
+        assert!(r.pair_counts[4].0 >= r.pair_counts[0].0);
+        assert!(r.max_deltas.iter().all(|&d| d >= 0.0));
     }
 
     #[test]

@@ -111,7 +111,7 @@ mod tests {
         assert!((bands[2] - 0.6).abs() < 1e-12); // 3–5
         assert!((bands[3] - 0.6).abs() < 1e-12); // 2–5
         assert!((bands[4] - 0.8).abs() < 1e-12); // 1–5
-        // Bands never decrease.
+                                                 // Bands never decrease.
         for w in bands.windows(2) {
             assert!(w[1] + 1e-12 >= w[0]);
         }

@@ -24,6 +24,8 @@ use crate::metrics::{
     interpolated_pr_curve, mean_precision, mean_recall, pooled_relevant, precision_at_x, PrCurve,
     RelevanceThreshold,
 };
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
 use simrankpp_graph::subgraph::{induced_subgraph, SubgraphMapping};
@@ -33,8 +35,6 @@ use simrankpp_synth::generator::{generate, GeneratorConfig, SynthDataset};
 use simrankpp_synth::traffic::sample_eval_queries;
 use simrankpp_synth::EditorialJudge;
 use simrankpp_util::FxHashSet;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Full experiment configuration.
 #[derive(Debug, Clone)]
@@ -157,8 +157,7 @@ pub fn run_experiment_on(config: &ExperimentConfig, dataset: &SynthDataset) -> E
     let mut union_nodes: Vec<NodeRef> = Vec::new();
     let mut sub_of_query: simrankpp_util::FxHashMap<u32, usize> =
         simrankpp_util::FxHashMap::default();
-    let mut sub_of_ad: simrankpp_util::FxHashMap<u32, usize> =
-        simrankpp_util::FxHashMap::default();
+    let mut sub_of_ad: simrankpp_util::FxHashMap<u32, usize> = simrankpp_util::FxHashMap::default();
     for (i, s) in subs.iter().enumerate() {
         for &q in &s.mapping.queries {
             union_nodes.push(NodeRef::Query(q));
@@ -187,7 +186,10 @@ pub fn run_experiment_on(config: &ExperimentConfig, dataset: &SynthDataset) -> E
         if cross.is_empty() {
             (unioned, mapping)
         } else {
-            (simrankpp_graph::subgraph::remove_edges(&unioned, &cross), mapping)
+            (
+                simrankpp_graph::subgraph::remove_edges(&unioned, &cross),
+                mapping,
+            )
         }
     };
     let total = GraphStats::compute(&eval_graph).table5_row();
@@ -204,9 +206,9 @@ pub fn run_experiment_on(config: &ExperimentConfig, dataset: &SynthDataset) -> E
     let eval_pairs: Vec<(QueryId, QueryId)> = sample
         .iter()
         .filter_map(|&parent| {
-            mapping.to_sub_query(parent).and_then(|sub| {
-                (eval_graph.query_degree(sub) > 0).then_some((parent, sub))
-            })
+            mapping
+                .to_sub_query(parent)
+                .and_then(|sub| (eval_graph.query_degree(sub) > 0).then_some((parent, sub)))
         })
         .collect();
 
@@ -248,10 +250,8 @@ pub fn run_experiment_on(config: &ExperimentConfig, dataset: &SynthDataset) -> E
     }
 
     // --- 5. Metrics. --------------------------------------------------------
-    let judgment_refs: Vec<&[QueryJudgments]> = per_method_judgments
-        .iter()
-        .map(|v| v.as_slice())
-        .collect();
+    let judgment_refs: Vec<&[QueryJudgments]> =
+        per_method_judgments.iter().map(|v| v.as_slice()).collect();
     let pool12 = pooled_relevant(&judgment_refs, RelevanceThreshold::Grade12);
     let pool1 = pooled_relevant(&judgment_refs, RelevanceThreshold::Grade1);
 

@@ -240,7 +240,9 @@ mod tests {
         let set = &pool[&QueryId(0)];
         // Relevant: 1 (precise), 3 (approx), 4 (approx).
         assert_eq!(set.len(), 3);
-        assert!(set.contains(&QueryId(1)) && set.contains(&QueryId(3)) && set.contains(&QueryId(4)));
+        assert!(
+            set.contains(&QueryId(1)) && set.contains(&QueryId(3)) && set.contains(&QueryId(4))
+        );
     }
 
     #[test]
@@ -275,7 +277,10 @@ mod tests {
         let curve = interpolated_pr_curve(&a, &pool, RelevanceThreshold::Grade12);
         assert_eq!(curve.queries_scored, 1);
         for w in curve.precision_at_recall.windows(2) {
-            assert!(w[0] + 1e-12 >= w[1], "interpolated precision must not increase");
+            assert!(
+                w[0] + 1e-12 >= w[1],
+                "interpolated precision must not increase"
+            );
         }
         // Recall 0 level: best precision anywhere = 1.0 (first rewrite hit).
         assert_eq!(curve.precision_at_recall[0], 1.0);

@@ -11,7 +11,12 @@ use std::fmt::Write as _;
 pub fn render_table5(report: &ExperimentReport) -> String {
     let mut out = String::new();
     writeln!(out, "Table 5: Dataset statistics").unwrap();
-    writeln!(out, "{:<14} {:>12} {:>12} {:>12}", "", "# Queries", "# Ads", "# Edges").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>12}",
+        "", "# Queries", "# Ads", "# Edges"
+    )
+    .unwrap();
     let n = report.table5.len();
     for (i, (q, a, e)) in report.table5.iter().enumerate() {
         let label = if i + 1 == n {
@@ -27,7 +32,12 @@ pub fn render_table5(report: &ExperimentReport) -> String {
 /// Renders Figure 8 (query coverage).
 pub fn render_fig8(report: &ExperimentReport) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 8: Query coverage ({} eval queries)", report.eval_queries).unwrap();
+    writeln!(
+        out,
+        "Figure 8: Query coverage ({} eval queries)",
+        report.eval_queries
+    )
+    .unwrap();
     for m in &report.methods {
         writeln!(
             out,
@@ -56,21 +66,33 @@ pub fn render_fig9_or_10(report: &ExperimentReport, threshold_one: bool) -> Stri
     }
     writeln!(out).unwrap();
     for m in &report.methods {
-        let curve = if threshold_one { &m.pr_grade1 } else { &m.pr_grade12 };
+        let curve = if threshold_one {
+            &m.pr_grade1
+        } else {
+            &m.pr_grade12
+        };
         write!(out, "  {:<26}", m.method).unwrap();
         for p in curve.precision_at_recall {
             write!(out, " {:>6.3}", p).unwrap();
         }
         writeln!(out).unwrap();
     }
-    writeln!(out, "\nFigure {fig}: Precision after X rewrites (P@X, {label})").unwrap();
+    writeln!(
+        out,
+        "\nFigure {fig}: Precision after X rewrites (P@X, {label})"
+    )
+    .unwrap();
     write!(out, "  {:<26}", "X:").unwrap();
     for x in 1..=5 {
         write!(out, " {x:>6}").unwrap();
     }
     writeln!(out).unwrap();
     for m in &report.methods {
-        let p = if threshold_one { &m.p_at_x_grade1 } else { &m.p_at_x_grade12 };
+        let p = if threshold_one {
+            &m.p_at_x_grade1
+        } else {
+            &m.p_at_x_grade12
+        };
         write!(out, "  {:<26}", m.method).unwrap();
         for v in p {
             write!(out, " {:>6.3}", v).unwrap();
@@ -83,7 +105,11 @@ pub fn render_fig9_or_10(report: &ExperimentReport, threshold_one: bool) -> Stri
 /// Renders Figure 11 (rewriting depth bands).
 pub fn render_fig11(report: &ExperimentReport) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 11: Rewriting depth (fraction of sample queries)").unwrap();
+    writeln!(
+        out,
+        "Figure 11: Rewriting depth (fraction of sample queries)"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<26} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
@@ -236,7 +262,14 @@ mod tests {
     #[test]
     fn full_report_contains_everything() {
         let s = render_full(&fake_report());
-        for needle in ["Table 5", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12"] {
+        for needle in [
+            "Table 5",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

@@ -184,7 +184,9 @@ mod tests {
         let mut b = ClickGraphBuilder::new();
         let mut x: u64 = 12345;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let q = ((x >> 33) % 40) as u32;
             let a = ((x >> 13) % 30) as u32;
             b.add_edge(QueryId(q), AdId(a), EdgeData::from_clicks(1 + (x % 5)));

@@ -78,10 +78,10 @@ pub fn connected_components(g: &ClickGraph) -> Components {
     let mut queue: VecDeque<NodeRef> = VecDeque::new();
 
     let start_from = |seed: NodeRef,
-                          query_label: &mut Vec<u32>,
-                          ad_label: &mut Vec<u32>,
-                          count: &mut u32,
-                          queue: &mut VecDeque<NodeRef>| {
+                      query_label: &mut Vec<u32>,
+                      ad_label: &mut Vec<u32>,
+                      count: &mut u32,
+                      queue: &mut VecDeque<NodeRef>| {
         let label = *count;
         *count += 1;
         match seed {
@@ -160,10 +160,7 @@ mod tests {
         let flower = g.query_by_name("flower").unwrap();
         let pc = g.query_by_name("pc").unwrap();
         let tv = g.query_by_name("tv").unwrap();
-        assert_ne!(
-            c.label(NodeRef::Query(flower)),
-            c.label(NodeRef::Query(pc))
-        );
+        assert_ne!(c.label(NodeRef::Query(flower)), c.label(NodeRef::Query(pc)));
         assert_eq!(c.label(NodeRef::Query(tv)), c.label(NodeRef::Query(pc)));
     }
 
@@ -185,7 +182,11 @@ mod tests {
         let mut b = ClickGraphBuilder::new();
         b.reserve_queries(3);
         b.reserve_ads(2);
-        b.add_edge(crate::ids::QueryId(0), crate::ids::AdId(0), EdgeData::from_clicks(1));
+        b.add_edge(
+            crate::ids::QueryId(0),
+            crate::ids::AdId(0),
+            EdgeData::from_clicks(1),
+        );
         let g = b.build();
         let c = connected_components(&g);
         // Component 0: q0-a0. Then q1, q2, a1 are singletons.

@@ -118,7 +118,11 @@ pub fn figure6_graphs() -> (ClickGraph, ClickGraph) {
 /// talk about click counts).
 fn weighted(w: f64) -> EdgeData {
     let clicks = w.round() as u64;
-    EdgeData::new(clicks.max(1) * 10, clicks, w / (clicks.max(1) as f64 * 10.0))
+    EdgeData::new(
+        clicks.max(1) * 10,
+        clicks,
+        w / (clicks.max(1) as f64 * 10.0),
+    )
 }
 
 #[cfg(test)]

@@ -184,7 +184,10 @@ impl ClickGraph {
 
     /// Finds a query id by display name.
     pub fn query_by_name(&self, name: &str) -> Option<QueryId> {
-        self.query_names.as_ref().and_then(|i| i.get(name)).map(QueryId)
+        self.query_names
+            .as_ref()
+            .and_then(|i| i.get(name))
+            .map(QueryId)
     }
 
     /// Finds an ad id by display name.
@@ -291,7 +294,12 @@ fn check_csr(offsets: &[u32], nbrs: &[AdId], n_other: usize, side: &str) -> Resu
     Ok(())
 }
 
-fn check_csr_q(offsets: &[u32], nbrs: &[QueryId], n_other: usize, side: &str) -> Result<(), String> {
+fn check_csr_q(
+    offsets: &[u32],
+    nbrs: &[QueryId],
+    n_other: usize,
+    side: &str,
+) -> Result<(), String> {
     if *offsets.last().unwrap() as usize != nbrs.len() {
         return Err(format!("{side}: last offset != neighbor count"));
     }

@@ -114,10 +114,7 @@ mod tests {
         i.intern("b");
         i.intern("c");
         let got: Vec<_> = i.iter().map(|(id, n)| (id, n.to_owned())).collect();
-        assert_eq!(
-            got,
-            vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]
-        );
+        assert_eq!(got, vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]);
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub fn read_tsv<R: Read>(input: R) -> io::Result<ClickGraph> {
         let impressions: u64 = impr
             .parse()
             .map_err(|_| bad_line(line_no, "bad impressions"))?;
-        let clicks: u64 = clicks.parse().map_err(|_| bad_line(line_no, "bad clicks"))?;
+        let clicks: u64 = clicks
+            .parse()
+            .map_err(|_| bad_line(line_no, "bad clicks"))?;
         let ecr: f64 = ecr.parse().map_err(|_| bad_line(line_no, "bad ECR"))?;
         if clicks > impressions || !ecr.is_finite() || ecr < 0.0 {
             return Err(bad_line(line_no, "edge data violates invariants"));

@@ -104,8 +104,7 @@ pub struct GraphStats {
 impl GraphStats {
     /// Computes all statistics for `g`.
     pub fn compute(g: &ClickGraph) -> Self {
-        let ads_per_query =
-            DegreeHistogram::from_degrees(g.queries().map(|q| g.query_degree(q)));
+        let ads_per_query = DegreeHistogram::from_degrees(g.queries().map(|q| g.query_degree(q)));
         let queries_per_ad = DegreeHistogram::from_degrees(g.ads().map(|a| g.ad_degree(a)));
         let clicks_per_edge =
             DegreeHistogram::from_degrees(g.edges().map(|(_, _, e)| e.clicks as usize));

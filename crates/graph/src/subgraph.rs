@@ -142,7 +142,7 @@ mod tests {
         assert_eq!(sub.n_queries(), 2);
         assert_eq!(sub.n_ads(), 2);
         assert_eq!(sub.n_edges(), 4); // K2,2
-        // Names carried over.
+                                      // Names carried over.
         assert!(sub.query_by_name("camera").is_some());
         // Mapping round-trips.
         let cam_sub = sub.query_by_name("camera").unwrap();

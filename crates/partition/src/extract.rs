@@ -127,11 +127,7 @@ mod tests {
             }
             if block + 1 < k {
                 // bridge: first query of this block to first ad of next.
-                b.add_edge(
-                    QueryId(qo),
-                    AdId(ao + m as u32),
-                    EdgeData::from_clicks(1),
-                );
+                b.add_edge(QueryId(qo), AdId(ao + m as u32), EdgeData::from_clicks(1));
             }
         }
         b.build()

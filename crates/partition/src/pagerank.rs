@@ -111,8 +111,16 @@ mod tests {
     fn isolated_nodes_keep_teleport_mass() {
         let mut b = ClickGraphBuilder::new();
         b.reserve_queries(3); // query 2 is isolated
-        b.add_edge(simrankpp_graph::QueryId(0), simrankpp_graph::AdId(0), EdgeData::from_clicks(1));
-        b.add_edge(simrankpp_graph::QueryId(1), simrankpp_graph::AdId(0), EdgeData::from_clicks(1));
+        b.add_edge(
+            simrankpp_graph::QueryId(0),
+            simrankpp_graph::AdId(0),
+            EdgeData::from_clicks(1),
+        );
+        b.add_edge(
+            simrankpp_graph::QueryId(1),
+            simrankpp_graph::AdId(0),
+            EdgeData::from_clicks(1),
+        );
         let g = b.build();
         let view = FlatView::new(&g);
         let pr = pagerank(&view, &PagerankConfig::default());

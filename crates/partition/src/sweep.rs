@@ -117,7 +117,7 @@ mod tests {
     use super::*;
     use crate::ppr::{approximate_ppr, PprConfig};
     use simrankpp_graph::fixtures::figure3_graph;
-    use simrankpp_graph::{ClickGraphBuilder, EdgeData, QueryId, AdId};
+    use simrankpp_graph::{AdId, ClickGraphBuilder, EdgeData, QueryId};
 
     /// Two K_{3,3} blocks joined by a single bridge edge.
     fn two_communities() -> simrankpp_graph::ClickGraph {

@@ -14,18 +14,18 @@ use simrankpp_util::FxHashSet;
 /// Assigns bids: query `q` carries a bid with probability
 /// `bid_rate · (0.4 + 0.6 · quantile(popularity))`, so the most popular
 /// queries bid at `bid_rate` and the least popular at `0.4·bid_rate`.
-pub fn assign_bids(
-    popularity: &[f64],
-    bid_rate: f64,
-    rng: &mut SmallRng,
-) -> FxHashSet<QueryId> {
+pub fn assign_bids(popularity: &[f64], bid_rate: f64, rng: &mut SmallRng) -> FxHashSet<QueryId> {
     let n = popularity.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| popularity[a].partial_cmp(&popularity[b]).unwrap());
     // rank_quantile[q] in [0,1]; 1 = most popular.
     let mut quantile = vec![0.0f64; n];
     for (i, &q) in order.iter().enumerate() {
-        quantile[q] = if n > 1 { i as f64 / (n - 1) as f64 } else { 1.0 };
+        quantile[q] = if n > 1 {
+            i as f64 / (n - 1) as f64
+        } else {
+            1.0
+        };
     }
     let mut bids = FxHashSet::default();
     for q in 0..n {

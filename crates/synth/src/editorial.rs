@@ -118,12 +118,12 @@ mod tests {
             query_intent: vec![0, 0, 1, 2, 3, 4],
             query_popularity: vec![1.0; 6],
             query_name: vec![
-                "kamelu basi".into(),      // q0: intent 0
-                "basis kamelu".into(),     // q1: intent 0 (variant)
-                "kamelu".into(),           // q2: intent 1, shares stem kamelu
-                "droka".into(),            // q3: intent 2, same topic, no shared stem
-                "nivo".into(),             // q4: topic 1 (related to 0)
-                "zuma".into(),             // q5: topic 3 (unrelated to 0)
+                "kamelu basi".into(),  // q0: intent 0
+                "basis kamelu".into(), // q1: intent 0 (variant)
+                "kamelu".into(),       // q2: intent 1, shares stem kamelu
+                "droka".into(),        // q3: intent 2, same topic, no shared stem
+                "nivo".into(),         // q4: topic 1 (related to 0)
+                "zuma".into(),         // q5: topic 3 (unrelated to 0)
             ],
             ad_topic: vec![],
             ad_quality: vec![],

@@ -71,11 +71,7 @@ pub fn inject_click_spam(g: &ClickGraph, config: &SpamConfig) -> (ClickGraph, Ve
                 b.add_edge(
                     QueryId(q),
                     ad,
-                    EdgeData::new(
-                        config.clicks_per_edge * 2,
-                        config.clicks_per_edge,
-                        0.5,
-                    ),
+                    EdgeData::new(config.clicks_per_edge * 2, config.clicks_per_edge, 0.5),
                 );
             }
         }
@@ -97,7 +93,9 @@ mod tests {
         assert_eq!(spammed.n_queries(), d.graph.n_queries());
         assert_eq!(spammed.n_ads(), d.graph.n_ads() + spam_ads.len());
         for (q, a, e) in d.graph.edges() {
-            let q2 = spammed.query_by_name(d.graph.query_name(q).unwrap()).unwrap();
+            let q2 = spammed
+                .query_by_name(d.graph.query_name(q).unwrap())
+                .unwrap();
             let a2 = spammed.ad_by_name(d.graph.ad_name(a).unwrap()).unwrap();
             assert_eq!(spammed.edge(q2, a2), Some(e));
         }
@@ -134,15 +132,24 @@ mod tests {
         let mut fabricated = false;
         'outer: for (i, &v1) in victims.iter().enumerate() {
             for &v2 in &victims[i + 1..] {
-                let o1 = d.graph.query_by_name(spammed.query_name(v1).unwrap()).unwrap();
-                let o2 = d.graph.query_by_name(spammed.query_name(v2).unwrap()).unwrap();
+                let o1 = d
+                    .graph
+                    .query_by_name(spammed.query_name(v1).unwrap())
+                    .unwrap();
+                let o2 = d
+                    .graph
+                    .query_by_name(spammed.query_name(v2).unwrap())
+                    .unwrap();
                 if d.graph.common_ads(o1, o2) == 0 {
                     fabricated = true;
                     break 'outer;
                 }
             }
         }
-        assert!(fabricated, "spam should connect previously-unrelated queries");
+        assert!(
+            fabricated,
+            "spam should connect previously-unrelated queries"
+        );
     }
 
     #[test]

@@ -102,7 +102,9 @@ pub fn topic_terms(topic: u16, n_terms: usize) -> Vec<String> {
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         let mut next = |n: usize| {
-            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h = h
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((h >> 33) as usize) % n
         };
         let mut term = String::new();
@@ -248,6 +250,9 @@ mod tests {
         for v in 0..10 {
             distinct.insert(intent.render_variant(v, &mut rng));
         }
-        assert!(distinct.len() >= 3, "variants should be diverse: {distinct:?}");
+        assert!(
+            distinct.len() >= 3,
+            "variants should be diverse: {distinct:?}"
+        );
     }
 }

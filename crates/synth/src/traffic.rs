@@ -14,11 +14,7 @@ use simrankpp_graph::QueryId;
 /// Samples `n` distinct queries with probability proportional to
 /// `popularity`, without replacement. Queries with non-positive popularity
 /// are never selected.
-pub fn sample_eval_queries(
-    popularity: &[f64],
-    n: usize,
-    rng: &mut SmallRng,
-) -> Vec<QueryId> {
+pub fn sample_eval_queries(popularity: &[f64], n: usize, rng: &mut SmallRng) -> Vec<QueryId> {
     // A-Res: key = u^(1/w); take the n largest keys.
     let mut keyed: Vec<(f64, u32)> = popularity
         .iter()
@@ -106,6 +102,9 @@ mod tests {
                 None
             }
         });
-        assert_eq!(resolved, vec![(QueryId(0), QueryId(0)), (QueryId(2), QueryId(1))]);
+        assert_eq!(
+            resolved,
+            vec![(QueryId(0), QueryId(0)), (QueryId(2), QueryId(1))]
+        );
     }
 }

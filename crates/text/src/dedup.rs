@@ -62,13 +62,22 @@ mod tests {
 
     #[test]
     fn signature_collapses_inflection() {
-        assert_eq!(stem_signature("digital camera"), stem_signature("digital cameras"));
-        assert_eq!(stem_signature("running shoe"), stem_signature("running shoes"));
+        assert_eq!(
+            stem_signature("digital camera"),
+            stem_signature("digital cameras")
+        );
+        assert_eq!(
+            stem_signature("running shoe"),
+            stem_signature("running shoes")
+        );
     }
 
     #[test]
     fn signature_is_order_insensitive() {
-        assert_eq!(stem_signature("camera digital"), stem_signature("digital camera"));
+        assert_eq!(
+            stem_signature("camera digital"),
+            stem_signature("digital camera")
+        );
     }
 
     #[test]
@@ -96,6 +105,9 @@ mod tests {
 
     #[test]
     fn normalization_applies_before_stemming() {
-        assert_eq!(stem_signature("Digital, CAMERAS!"), stem_signature("digital camera"));
+        assert_eq!(
+            stem_signature("Digital, CAMERAS!"),
+            stem_signature("digital camera")
+        );
     }
 }

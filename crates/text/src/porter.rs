@@ -147,9 +147,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
     if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
         w.push(b'e'); // conflat(ed) -> conflate
-    } else if ends_double_consonant(w, w.len())
-        && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
-    {
+    } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
         w.truncate(w.len() - 1); // hopp(ing) -> hop
     } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
         w.push(b'e'); // fil(ing) -> file
@@ -216,8 +214,8 @@ fn step3(w: &mut Vec<u8>) {
 /// Step 4: strip residual suffixes when m > 1 (with the s/t gate for -ion).
 fn step4(w: &mut Vec<u8>) {
     const SUFFIXES: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
+        b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
     ];
     // Longest match first: Porter's rules are disjoint except that -ement /
     // -ment / -ent nest, so test in decreasing length per suffix family.
@@ -235,10 +233,7 @@ fn step4(w: &mut Vec<u8>) {
     // (m>1 and (*S or *T)) ION ->
     if ends_with(w, b"ion") {
         let stem_len = w.len() - 3;
-        if measure(w, stem_len) > 1
-            && stem_len >= 1
-            && matches!(w[stem_len - 1], b's' | b't')
-        {
+        if measure(w, stem_len) > 1 && stem_len >= 1 && matches!(w[stem_len - 1], b's' | b't') {
             w.truncate(stem_len);
         }
     }
@@ -419,8 +414,8 @@ mod tests {
     #[test]
     fn idempotent_on_common_words() {
         for word in [
-            "camera", "flower", "run", "hotel", "digit", "adjust", "control", "commun",
-            "relat", "depend",
+            "camera", "flower", "run", "hotel", "digit", "adjust", "control", "commun", "relat",
+            "depend",
         ] {
             let once = stem(word);
             let twice = stem(&once);

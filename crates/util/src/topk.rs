@@ -64,8 +64,7 @@ impl<T: Ord + Copy> TopK<T> {
         }
         // Heap is full: compare with the current minimum (heap peek).
         if let Some(min) = self.heap.peek() {
-            let replace = score > min.score
-                || (score == min.score && item < min.item);
+            let replace = score > min.score || (score == min.score && item < min.item);
             if replace {
                 self.heap.pop();
                 self.heap.push(Entry { score, item });
@@ -91,11 +90,7 @@ impl<T: Ord + Copy> TopK<T> {
     /// Consumes the collector, returning `(item, score)` pairs sorted by
     /// descending score (ties broken by ascending item).
     pub fn into_sorted_vec(self) -> Vec<(T, f64)> {
-        let mut v: Vec<(T, f64)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.item, e.score))
-            .collect();
+        let mut v: Vec<(T, f64)> = self.heap.into_iter().map(|e| (e.item, e.score)).collect();
         v.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(Ordering::Equal)
@@ -156,10 +151,7 @@ mod tests {
         t.push(3, 0.5);
         t.push(7, 0.5);
         let out = t.into_sorted_vec();
-        assert_eq!(
-            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
-            vec![3, 7]
-        );
+        assert_eq!(out.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![3, 7]);
     }
 
     #[test]
@@ -180,7 +172,9 @@ mod tests {
         let mut scored: Vec<(u32, f64)> = Vec::new();
         let mut t = TopK::new(25);
         for i in 0..5_000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = (x >> 11) as f64 / (1u64 << 53) as f64;
             scored.push((i, s));
             t.push(i, s);

@@ -40,7 +40,11 @@ fn main() {
     // are the click weights.
     let mut builder = ClickGraphBuilder::new();
     for &(user, movie, rating) in RATINGS {
-        builder.add_named(user, movie, EdgeData::new(rating * 2, rating, rating as f64 / 5.0));
+        builder.add_named(
+            user,
+            movie,
+            EdgeData::new(rating * 2, rating, rating as f64 / 5.0),
+        );
     }
     let graph = builder.build();
     println!(

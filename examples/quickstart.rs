@@ -70,10 +70,7 @@ fn print_matrix(_graph: &ClickGraph, score: impl Fn(QueryId, QueryId) -> f64) {
             if i == j {
                 print!("{:>16}", "-");
             } else {
-                print!(
-                    "{:>16.3}",
-                    score(QueryId(i as u32), QueryId(j as u32))
-                );
+                print!("{:>16.3}", score(QueryId(i as u32), QueryId(j as u32)));
             }
         }
         println!();

@@ -26,11 +26,7 @@ fn main() {
     println!("\nSample rewrites (weighted SimRank, grades from the simulated editorial judge):");
     let dataset = generate(&config.generator);
     let judge = EditorialJudge::new(&dataset.world);
-    let method = Method::compute(
-        MethodKind::WeightedSimrank,
-        &dataset.graph,
-        &config.simrank,
-    );
+    let method = Method::compute(MethodKind::WeightedSimrank, &dataset.graph, &config.simrank);
     let rewriter = Rewriter::new(&dataset.graph, method, RewriterConfig::default());
 
     let mut by_pop: Vec<usize> = (0..dataset.world.n_queries()).collect();

@@ -36,7 +36,10 @@ fn main() {
     let view = FlatView::new(g);
     let pr = pagerank(&view, &PagerankConfig::default());
     let max_pr = pr.iter().cloned().fold(0.0f64, f64::max);
-    println!("Global PageRank computed ({} nodes, max rank {max_pr:.2e})\n", pr.len());
+    println!(
+        "Global PageRank computed ({} nodes, max rank {max_pr:.2e})\n",
+        pr.len()
+    );
 
     // Extract five subgraphs, Table 5 style.
     let config = ExtractConfig {

@@ -10,11 +10,18 @@
 //! |--------|----------|
 //! | [`graph`] | the §2 weighted bipartite click graph (CSR storage, builders, fixtures, I/O) |
 //! | [`core`] | SimRank (§4), evidence-based SimRank (§7), weighted SimRank (§8), Pearson baseline (§9.1), the rewriting front-end (Fig. 2), Monte-Carlo estimation, hybrid text+click scoring |
+//! | [`core::engine`](simrankpp_core::engine) | the unified sparse propagation kernel the recursive variants run on: a `Transition` trait for the per-edge walk factor (uniform §4 / weighted §8.2), flat sorted-pair accumulation, shared chunked parallelism, threshold pruning, per-iteration `pair_counts`/max-delta diagnostics, and `SimrankConfig::tolerance` early exit |
 //! | [`partition`] | PageRank, Andersen–Chung–Lang push + sweep cuts, five-subgraph extraction (§9.2) |
 //! | [`text`] | Porter stemmer, query normalization, stem-dedup (§9.3) |
 //! | [`synth`] | synthetic click-graph generator, position-bias click model, simulated editorial judge (Table 6), bids, traffic sampling, click-spam injection |
 //! | [`eval`] | §9.4 metrics: coverage, 11-pt precision/recall, P@X, depth bands, desirability prediction (Figures 8–12) |
 //! | [`util`] | fast hashing, top-k selection, online statistics |
+//!
+//! Engine convergence knobs on [`SimrankConfig`](prelude::SimrankConfig):
+//! `iterations` (Jacobi budget), `prune_threshold` (sparsity/accuracy
+//! trade-off; `0.0` = exact), `tolerance` (early exit once the max per-pair
+//! delta falls to/below it; results report `iterations_run`, `converged`,
+//! `max_deltas`, `pair_counts`), and `threads` (chunked parallelism).
 //!
 //! ## Quickstart
 //!

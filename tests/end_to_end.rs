@@ -46,7 +46,14 @@ fn full_experiment_produces_paper_shape() {
 fn report_renders_without_panic() {
     let report = run_experiment(&fast_experiment());
     let text = render_full(&report);
-    for needle in ["Table 5", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12"] {
+    for needle in [
+        "Table 5",
+        "Figure 8",
+        "Figure 9",
+        "Figure 10",
+        "Figure 11",
+        "Figure 12",
+    ] {
         assert!(text.contains(needle), "report missing {needle}");
     }
 }

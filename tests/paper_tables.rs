@@ -20,8 +20,19 @@ fn table1_common_ad_counts() {
     let m = naive_scores(&g);
     let q = |n: &str| g.query_by_name(n).unwrap().0;
     let rows = [
-        ("pc", &[("camera", 1.0), ("digital camera", 1.0), ("tv", 0.0), ("flower", 0.0)][..]),
-        ("camera", &[("digital camera", 2.0), ("tv", 1.0), ("flower", 0.0)][..]),
+        (
+            "pc",
+            &[
+                ("camera", 1.0),
+                ("digital camera", 1.0),
+                ("tv", 0.0),
+                ("flower", 0.0),
+            ][..],
+        ),
+        (
+            "camera",
+            &[("digital camera", 2.0), ("tv", 1.0), ("flower", 0.0)][..],
+        ),
         ("digital camera", &[("tv", 1.0), ("flower", 0.0)][..]),
         ("tv", &[("flower", 0.0)][..]),
     ];
@@ -67,10 +78,9 @@ fn table4_evidence_columns() {
             .queries
             .get(0, 1);
         assert!((engine - want).abs() < 1e-9, "iteration {}", k + 1);
-        let closed =
-            *km2_evidence_pair_iterates(2, 0.8, 0.8, k + 1, EvidenceKind::Geometric)
-                .last()
-                .unwrap();
+        let closed = *km2_evidence_pair_iterates(2, 0.8, 0.8, k + 1, EvidenceKind::Geometric)
+            .last()
+            .unwrap();
         assert!((closed - want).abs() < 1e-9);
     }
 }

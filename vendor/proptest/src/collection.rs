@@ -1,0 +1,26 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a uniformly drawn length.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `vec(element, m..n)`: vectors of `m..n` elements (mirrors proptest).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = rng.gen_range(self.size.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

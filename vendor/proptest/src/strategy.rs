@@ -1,0 +1,210 @@
+//! Value-generation strategies.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String patterns like `"[a-z]{3,20}"` act as strategies, mirroring
+/// proptest's regex-string support for the subset of syntax the tests use:
+/// a sequence of literal characters or `[...]` classes, each optionally
+/// followed by `{m,n}` (uniform length in `m..=n`).
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.max > atom.min {
+                rng.gen_range(atom.min..=atom.max)
+            } else {
+                atom.min
+            };
+            for _ in 0..n {
+                let i = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms: Vec<Atom> = Vec::new();
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pat:?}");
+                i += 1; // past ']'
+                atoms.push(Atom {
+                    chars: set,
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {m,n}")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                let (m, n) = match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let k = spec.trim().parse().expect("bad {n}");
+                        (k, k)
+                    }
+                };
+                let last = atoms.last_mut().expect("quantifier without atom");
+                last.min = m;
+                last.max = n;
+                i = close + 1;
+            }
+            c => {
+                atoms.push(Atom {
+                    chars: vec![c],
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = rng_for("ranges");
+        for _ in 0..200 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rng_for("regex");
+        for _ in 0..200 {
+            let s = "[a-z]{3,20}".generate(&mut rng);
+            assert!((3..=20).contains(&s.len()), "len {} of {s:?}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..100 {
+            let s = "[ a-zA-Z0-9,.!-]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.!-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = rng_for("map");
+        let strat = (1u32..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Configuration and per-case control flow for the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How many accepted cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a case did not count.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+}
+
+/// Body outcome: `Ok` counts the case, `Err(Reject)` retries with new inputs.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG per test, seeded from the test name (FNV-1a) so runs
+/// reproduce without a seed file.
+pub fn rng_for(test_name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}

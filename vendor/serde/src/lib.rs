@@ -1,0 +1,363 @@
+//! Minimal, offline replacement for the parts of `serde` this workspace uses.
+//!
+//! The container that builds this repository has no access to crates.io, so
+//! the real `serde` cannot be fetched. This crate keeps the *call sites*
+//! unchanged — `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` with the `#[serde(skip)]` and
+//! `#[serde(transparent)]` attributes — but implements them over a simple
+//! in-crate JSON [`json::Value`] model instead of serde's visitor machinery.
+//!
+//! Supported derive shapes (everything the workspace defines):
+//! named-field structs, newtype (1-field tuple) structs, enums with unit
+//! and newtype variants. Generic types must implement the traits manually
+//! (the blanket impls below cover `Vec`, `Option`, arrays and small tuples).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{Map, Value};
+
+/// Error produced by (de)serialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the JSON value model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the JSON value model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Reads a struct field out of an object value (used by generated code).
+/// Missing keys deserialize from `Null`, which succeeds only for types with
+/// a null form (e.g. `Option`).
+pub fn de_field<T: Deserialize>(v: &Value, field: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(m) => match m.get(field) {
+            Some(x) => {
+                T::deserialize_value(x).map_err(|e| Error::custom(format!("field `{field}`: {e}")))
+            }
+            None => T::deserialize_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{field}`"))),
+        },
+        other => Err(Error::custom(format!(
+            "expected object for struct, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!("expected unsigned integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| {
+                    Error::custom(format!("expected number, found {}", v.kind()))
+                })
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let vec: Result<Vec<T>, Error> = items.iter().map(T::deserialize_value).collect();
+                vec?.try_into()
+                    .map_err(|_| Error::custom("array length mismatch"))
+            }
+            other => Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut it = items.iter();
+                        Ok(($($name::deserialize_value(it.next().unwrap())?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {}-tuple array, found {}", $len, other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A.0 ; 1),
+    (A.0, B.1 ; 2),
+    (A.0, B.1, C.2 ; 3),
+    (A.0, B.1, C.2, D.3 ; 4)
+);
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, val) in self {
+            m.insert(k.clone(), val.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<V, S> Deserialize for std::collections::HashMap<String, V, S>
+where
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(
+            u64::deserialize_value(&42u64.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert_eq!(
+            String::deserialize_value(&String::from("hi").serialize_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(
+            Vec::<u32>::deserialize_value(&v.serialize_value()).unwrap(),
+            v
+        );
+        let a = [0.5f64; 5];
+        assert_eq!(
+            <[f64; 5]>::deserialize_value(&a.serialize_value()).unwrap(),
+            a
+        );
+        let t = (1usize, 2usize, 3usize);
+        assert_eq!(
+            <(usize, usize, usize)>::deserialize_value(&t.serialize_value()).unwrap(),
+            t
+        );
+    }
+}

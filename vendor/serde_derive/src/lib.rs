@@ -1,0 +1,410 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde subset.
+//!
+//! syn/quote are unavailable offline, so the input item is parsed directly
+//! from the `proc_macro` token stream and the impl is emitted as source text
+//! (`TokenStream` implements `FromStr`). Supported shapes — the full set used
+//! by this workspace:
+//!
+//! * structs with named fields (`#[serde(skip)]` honored: skipped on
+//!   serialize, `Default::default()` on deserialize);
+//! * tuple structs of any arity (arity 1 serializes as its inner value,
+//!   which also covers `#[serde(transparent)]`; arity ≥ 2 as an array);
+//! * enums with unit variants (serialized as the variant-name string) and
+//!   newtype variants (serialized as `{"Variant": value}`); explicit
+//!   discriminants (`Precise = 1`) are accepted and ignored, as in serde.
+//!
+//! Generics and struct variants are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Shape {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Container attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive subset: generic type `{name}` unsupported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Shape {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        kw => Err(format!("serde_derive subset: cannot derive for `{kw}`")),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+/// Returns whether any scanned attribute was `#[serde(...)]` containing the
+/// ident `needle` (callers pass e.g. "skip"; pass "" to just skip).
+fn skip_attrs_scanning(tokens: &[TokenTree], i: &mut usize, needle: &str) -> bool {
+    let mut found = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if !needle.is_empty() && attr_is_serde_with(g.stream(), needle) {
+                        found = true;
+                    }
+                    *i += 1;
+                } else {
+                    return found;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return found,
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    skip_attrs_scanning(tokens, i, "");
+}
+
+/// Is this attribute body (the `[...]` content) `serde(...)` mentioning `needle`?
+fn attr_is_serde_with(stream: TokenStream, needle: &str) -> bool {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == needle)),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let skip = skip_attrs_scanning(&tokens, &mut i, "skip");
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected ':' after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in stream {
+        any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let mut has_payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_tuple_fields(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde_derive subset: variant `{name}` must be unit or newtype"
+                    ));
+                }
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive subset: struct variant `{name}` unsupported"
+                ));
+            }
+            _ => {}
+        }
+        // Explicit discriminant: `= expr` — skip to the next top-level comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(t) = tokens.get(i) {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let name = &shape.name;
+    let body = match &shape.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::json::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from({n:?}), \
+                     ::serde::Serialize::serialize_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(f0) => {{ \
+                           let mut m = ::serde::json::Map::new(); \
+                           m.insert(::std::string::String::from({v:?}), \
+                                    ::serde::Serialize::serialize_value(f0)); \
+                           ::serde::json::Value::Object(m) }}\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::Str(\
+                         ::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let name = &shape.name;
+    let body = match &shape.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!("{n}: ::serde::de_field(v, {n:?})?,\n", n = f.name));
+                }
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::json::Value::Array(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({items})),\n\
+                   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected array of {n} for {name}, found {{}}\", other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    payload_arms.push_str(&format!(
+                        "if let ::std::option::Option::Some(x) = m.get({v:?}) {{ \
+                           return ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_value(x)?)); }}\n",
+                        v = v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            let object_arm = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::json::Value::Object(m) => {{\n\
+                       {payload_arms}\
+                       ::std::result::Result::Err(::serde::Error::custom(\
+                         \"unknown payload variant for {name}\"))\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "match v {{\n\
+                   ::serde::json::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                   }},\n\
+                   {object_arm}\
+                   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected variant of {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize_value(v: &::serde::json::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

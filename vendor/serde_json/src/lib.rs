@@ -1,0 +1,68 @@
+//! Offline subset of `serde_json` over the vendored `serde` value model.
+//!
+//! Provides exactly the entry points this workspace calls: [`to_string`],
+//! [`to_string_pretty`] and [`from_str`].
+
+pub use serde::json::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+impl From<serde::json::ParseError> for Error {
+    fn from(e: serde::json::ParseError) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string(&value.serialize_value()))
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string_pretty(&value.serialize_value()))
+}
+
+/// Parses a JSON document into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    Ok(T::deserialize_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_vec_of_tuples() {
+        let v: Vec<(usize, f64)> = vec![(1, 0.5), (2, 1.25)];
+        let s = super::to_string(&v).unwrap();
+        let back: Vec<(usize, f64)> = super::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let s = super::to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Vec<u32> = super::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}
