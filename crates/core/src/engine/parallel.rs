@@ -11,15 +11,22 @@ use std::ops::Range;
 /// serially regardless of the configured thread count.
 const PARALLEL_THRESHOLD: usize = 1024;
 
-/// Splits `0..n_items` into `threads` contiguous chunks, runs `work` on each
-/// (serially when `threads <= 1` or the range is small), and returns the
-/// per-chunk results in chunk order — deterministic given deterministic
-/// `work`.
+/// Splits `0..n_items` into `threads` contiguous chunks (`0` = all available
+/// cores), runs `work` on each (serially when one thread or the range is
+/// small), and returns the per-chunk results in chunk order — deterministic
+/// given deterministic `work`.
 pub fn run_chunked<T, F>(n_items: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
     if threads <= 1 || n_items < PARALLEL_THRESHOLD {
         return vec![work(0..n_items)];
     }

@@ -70,18 +70,56 @@ impl<'g> Rewriter<'g> {
         &self.method
     }
 
+    /// The click graph this rewriter serves.
+    pub fn graph(&self) -> &ClickGraph {
+        self.graph
+    }
+
+    /// The pipeline parameters.
+    pub fn config(&self) -> &RewriterConfig {
+        &self.config
+    }
+
     /// Produces rewrites for `q`. `bid_terms`, when given, is the §9.3 bid
     /// filter: the set of queries that saw at least one bid.
     pub fn rewrites(&self, q: QueryId, bid_terms: Option<&FxHashSet<QueryId>>) -> Vec<Rewrite> {
+        let mut ids = Vec::with_capacity(self.config.max_rewrites);
+        self.rewrite_ids_into(q, bid_terms, &mut ids);
+        ids.into_iter()
+            .map(|(query, score)| Rewrite {
+                query,
+                score,
+                name: self.graph.query_name(query).map(str::to_owned),
+            })
+            .collect()
+    }
+
+    /// The pipeline core: writes `q`'s surviving `(target, score)` pairs into
+    /// `out` (cleared first), without materializing display names.
+    /// [`Rewriter::rewrites`] and the serving-index build share this single
+    /// implementation; reusing `out` across calls keeps the batched offline
+    /// build allocation-lean.
+    pub fn rewrite_ids_into(
+        &self,
+        q: QueryId,
+        bid_terms: Option<&FxHashSet<QueryId>>,
+        out: &mut Vec<(QueryId, f64)>,
+    ) {
+        out.clear();
         let candidates = self.method.ranked_candidates(q, self.config.max_candidates);
 
+        // An unnamed source query has no signature to seed, but named
+        // candidates must still be deduplicated against each other —
+        // skipping the deduper entirely let duplicates reach the top-5.
         let mut deduper = if self.config.stem_dedup {
-            self.graph.query_name(q).map(StemDeduper::seeded_with)
+            Some(match self.graph.query_name(q) {
+                Some(name) => StemDeduper::seeded_with(name),
+                None => StemDeduper::new(),
+            })
         } else {
             None
         };
 
-        let mut out = Vec::with_capacity(self.config.max_rewrites);
         for (candidate, score) in candidates {
             if candidate == q {
                 continue;
@@ -98,16 +136,28 @@ impl<'g> Rewriter<'g> {
                     continue;
                 }
             }
-            out.push(Rewrite {
-                query: candidate,
-                score,
-                name: self.graph.query_name(candidate).map(str::to_owned),
-            });
+            out.push((candidate, score));
             if out.len() >= self.config.max_rewrites {
                 break;
             }
         }
-        out
+    }
+
+    /// Runs the full §9.3 pipeline for **every** query of the graph — the
+    /// offline half of the precompute-then-serve split — in `threads`
+    /// chunked scoped-thread workers (`0` = all cores). `out[q]` holds the
+    /// rewrites of `QueryId(q)`; chunk order makes the result deterministic
+    /// for any thread count.
+    pub fn rewrites_for_all(
+        &self,
+        bid_terms: Option<&FxHashSet<QueryId>>,
+        threads: usize,
+    ) -> Vec<Vec<Rewrite>> {
+        let chunks = crate::engine::parallel::run_chunked(self.graph.n_queries(), threads, |r| {
+            r.map(|q| self.rewrites(QueryId(q as u32), bid_terms))
+                .collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// The §9.4 *depth* of the method for `q`: how many rewrites survive
@@ -213,6 +263,68 @@ mod tests {
         let r = Rewriter::new(&g, Method::compute(MethodKind::Simrank, &g, &scfg), cfg);
         let camera = g.query_by_name("camera").unwrap();
         assert!(r.rewrites(camera, None).len() <= 1);
+    }
+
+    /// Three named queries (two of them stem-duplicates), one unnamed query,
+    /// all clicking the same ad. `intern_query` assigns ids 0..3 to the named
+    /// queries; `QueryId(3)` stays outside the interner so it has no name.
+    fn mixed_named_graph() -> ClickGraph {
+        use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+        let mut b = ClickGraphBuilder::new();
+        let shoe = b.intern_query("shoe");
+        let shoes = b.intern_query("shoes");
+        let boots = b.intern_query("boots");
+        let store = b.intern_ad("shoestore");
+        b.add_edge(shoe, store, EdgeData::from_clicks(4));
+        b.add_edge(shoes, store, EdgeData::from_clicks(2));
+        b.add_edge(boots, store, EdgeData::from_clicks(3));
+        b.add_edge(QueryId(3), store, EdgeData::from_clicks(5));
+        b.build()
+    }
+
+    #[test]
+    fn unnamed_source_still_dedups_named_candidates() {
+        // Regression: an unnamed source query used to disable stem-dedup
+        // entirely, so "shoe" and "shoes" could both reach the served top-5.
+        let g = mixed_named_graph();
+        let unnamed = QueryId(3);
+        assert_eq!(g.query_name(unnamed), None);
+        let r = rewriter(&g, MethodKind::Simrank);
+        let rewrites = r.rewrites(unnamed, None);
+        let names: Vec<_> = rewrites.iter().filter_map(|rw| rw.name.clone()).collect();
+        assert!(
+            !(names.iter().any(|n| n == "shoe") && names.iter().any(|n| n == "shoes")),
+            "shoe/shoes both served to an unnamed query: {names:?}"
+        );
+        // The non-duplicate candidates still come through.
+        assert!(names.iter().any(|n| n == "boots"), "{names:?}");
+    }
+
+    #[test]
+    fn unnamed_candidates_survive_dedup() {
+        // A candidate without a name has no signature; it must pass through
+        // the deduper rather than be dropped (or crash).
+        let g = mixed_named_graph();
+        let boots = g.query_by_name("boots").unwrap();
+        let r = rewriter(&g, MethodKind::Simrank);
+        let rewrites = r.rewrites(boots, None);
+        assert!(
+            rewrites.iter().any(|rw| rw.query == QueryId(3)),
+            "unnamed candidate missing: {rewrites:?}"
+        );
+    }
+
+    #[test]
+    fn rewrites_for_all_matches_per_query() {
+        let g = figure3_graph();
+        let r = rewriter(&g, MethodKind::WeightedSimrank);
+        for threads in [1, 4] {
+            let all = r.rewrites_for_all(None, threads);
+            assert_eq!(all.len(), g.n_queries());
+            for q in g.queries() {
+                assert_eq!(all[q.index()], r.rewrites(q, None), "threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! then freeze into a per-node sorted adjacency form ([`ScoreMatrix`]) for
 //! fast `get`, per-node top-k, and iteration.
 
-use simrankpp_util::{FxHashMap, PairKey, TopK};
+use simrankpp_util::{FxHashMap, PairKey};
 
 /// Accumulating builder: an unordered-pair → score map.
 #[derive(Debug, Clone, Default)]
@@ -56,7 +56,12 @@ impl ScoreMatrixBuilder {
     }
 
     /// Merges another builder's entries additively (parallel reduction).
+    ///
+    /// The node count widens to the larger of the two sides, so merging a
+    /// wider builder into a narrower (e.g. freshly-constructed empty) one
+    /// cannot make `build()` index out of bounds.
     pub fn merge(&mut self, other: ScoreMatrixBuilder) {
+        self.n = self.n.max(other.n);
         if self.entries.is_empty() {
             self.entries = other.entries;
             return;
@@ -198,11 +203,37 @@ impl ScoreMatrix {
     /// The `k` highest-scoring partners of `a` (descending score, ties by
     /// ascending id).
     pub fn top_k(&self, a: u32, k: usize) -> Vec<(u32, f64)> {
-        let mut top = TopK::new(k);
-        for &(other, score) in &self.by_node[a as usize] {
-            top.push(other, score);
+        let mut out = Vec::new();
+        self.top_k_into(a, k, &mut out);
+        out
+    }
+
+    /// As [`ScoreMatrix::top_k`], but writing into `out` (cleared first) so
+    /// batched per-node extraction reuses one buffer instead of allocating
+    /// per call. NaN scores are skipped (as [`TopK`](simrankpp_util::TopK)
+    /// does), keeping the comparator total; selection is O(m) + O(k log k)
+    /// rather than a full row sort.
+    pub fn top_k_into(&self, a: u32, k: usize, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        if k == 0 {
+            return;
         }
-        top.into_sorted_vec()
+        out.extend(
+            self.by_node[a as usize]
+                .iter()
+                .copied()
+                .filter(|&(_, s)| !s.is_nan()),
+        );
+        let descending = |x: &(u32, f64), y: &(u32, f64)| {
+            y.1.partial_cmp(&x.1)
+                .expect("NaN scores are filtered above")
+                .then_with(|| x.0.cmp(&y.0))
+        };
+        if out.len() > k {
+            out.select_nth_unstable_by(k - 1, descending);
+            out.truncate(k);
+        }
+        out.sort_unstable_by(descending);
     }
 
     /// Largest absolute score difference against another matrix over the
@@ -272,6 +303,60 @@ mod tests {
         a.merge(b);
         assert!((a.get(0, 1) - 0.5).abs() < 1e-12);
         assert!((a.get(1, 2) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_widens_node_count() {
+        // Regression: merging a wider builder into a narrower empty one used
+        // to keep the narrow `n`, so `build()` indexed `by_node` out of
+        // bounds for the stolen entries.
+        let mut a = ScoreMatrixBuilder::new(2);
+        let mut b = ScoreMatrixBuilder::new(6);
+        b.set(4, 5, 0.3);
+        a.merge(b);
+        let m = a.build();
+        assert_eq!(m.n_nodes(), 6);
+        assert!((m.get(4, 5) - 0.3).abs() < 1e-12);
+
+        // Same widening on the non-empty path.
+        let mut c = ScoreMatrixBuilder::new(2);
+        c.set(0, 1, 0.1);
+        let mut d = ScoreMatrixBuilder::new(9);
+        d.set(7, 8, 0.2);
+        c.merge(d);
+        let m = c.build();
+        assert_eq!(m.n_nodes(), 9);
+        assert!((m.get(7, 8) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_into_ranks_and_reuses_buffer() {
+        let mut b = ScoreMatrixBuilder::new(6);
+        b.set(0, 1, 0.1);
+        b.set(0, 2, 0.9);
+        b.set(0, 3, 0.5);
+        b.set(0, 4, 0.5); // tie with node 3: smaller id first
+        let m = b.build();
+        let mut buf = vec![(99u32, 0.0)];
+        m.top_k_into(0, 3, &mut buf);
+        assert_eq!(buf, vec![(2, 0.9), (3, 0.5), (4, 0.5)]);
+        assert_eq!(m.top_k(0, 2), vec![(2, 0.9), (3, 0.5)]);
+        m.top_k_into(0, 0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn top_k_skips_nan_scores() {
+        // A NaN entry (only constructible via from_sorted_pairs-free paths
+        // like map_scores misuse) must be dropped, not ranked arbitrarily.
+        let mut b = ScoreMatrixBuilder::new(4);
+        b.set(0, 1, 0.4);
+        b.set(0, 2, 0.7);
+        let mut m = b.build();
+        m.by_node[0][0].1 = f64::NAN; // partner id 1
+        let mut buf = Vec::new();
+        m.top_k_into(0, 3, &mut buf);
+        assert_eq!(buf, vec![(2, 0.7)]);
     }
 
     #[test]

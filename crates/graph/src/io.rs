@@ -13,7 +13,11 @@ use crate::edge::EdgeData;
 use crate::graph::ClickGraph;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
-/// Writes `g` as edge-per-line TSV. Nodes must have display names.
+/// Writes `g` as edge-per-line TSV. Nodes must have display names, and the
+/// names must be representable in the format: a tab or newline inside a name
+/// would shift every following field on read, and a leading `#` on a query
+/// name would make the whole line parse as a comment, so such names are
+/// rejected here rather than silently corrupting the file.
 pub fn write_tsv<W: Write>(g: &ClickGraph, out: W) -> io::Result<()> {
     let mut w = BufWriter::new(out);
     for (q, a, e) in g.edges() {
@@ -23,6 +27,16 @@ pub fn write_tsv<W: Write>(g: &ClickGraph, out: W) -> io::Result<()> {
         let aname = g
             .ad_name(a)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "ad has no name"))?;
+        check_tsv_name("query", qname)?;
+        check_tsv_name("ad", aname)?;
+        if qname.starts_with('#') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "query name {qname:?} starts with '#'; the line would read back as a comment"
+                ),
+            ));
+        }
         writeln!(
             w,
             "{qname}\t{aname}\t{}\t{}\t{}",
@@ -30,6 +44,16 @@ pub fn write_tsv<W: Write>(g: &ClickGraph, out: W) -> io::Result<()> {
         )?;
     }
     w.flush()
+}
+
+fn check_tsv_name(field: &str, name: &str) -> io::Result<()> {
+    if name.contains(['\t', '\n', '\r']) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{field} name {name:?} contains a tab or newline; TSV cannot represent it"),
+        ));
+    }
+    Ok(())
 }
 
 /// Reads a TSV edge list written by [`write_tsv`]. Repeated edges accumulate.
@@ -59,13 +83,21 @@ pub fn read_tsv<R: Read>(input: R) -> io::Result<ClickGraph> {
         ) else {
             return Err(bad_line(line_no, "expected 5 tab-separated fields"));
         };
+        if parts.next().is_some() {
+            return Err(bad_line(
+                line_no,
+                "more than 5 tab-separated fields (embedded tab in a name?)",
+            ));
+        }
         let impressions: u64 = impr
             .parse()
-            .map_err(|_| bad_line(line_no, "bad impressions"))?;
+            .map_err(|_| bad_line(line_no, &format!("bad impressions field {impr:?}")))?;
         let clicks: u64 = clicks
             .parse()
-            .map_err(|_| bad_line(line_no, "bad clicks"))?;
-        let ecr: f64 = ecr.parse().map_err(|_| bad_line(line_no, "bad ECR"))?;
+            .map_err(|_| bad_line(line_no, &format!("bad clicks field {clicks:?}")))?;
+        let ecr: f64 = ecr
+            .parse()
+            .map_err(|_| bad_line(line_no, &format!("bad ECR field {ecr:?}")))?;
         if clicks > impressions || !ecr.is_finite() || ecr < 0.0 {
             return Err(bad_line(line_no, "edge data violates invariants"));
         }
@@ -140,6 +172,72 @@ mod tests {
         let q = g.query_by_name("q").unwrap();
         let a = g.ad_by_name("ad").unwrap();
         assert_eq!(g.edge(q, a).unwrap().clicks, 4);
+    }
+
+    #[test]
+    fn tab_in_name_rejected_on_write() {
+        // Regression: a tab inside a name used to be written verbatim,
+        // shifting every later field on read.
+        let mut b = ClickGraphBuilder::new();
+        b.add_named("camera\tcheap", "hp.com", EdgeData::from_clicks(1));
+        let g = b.build();
+        let err = write_tsv(&g, Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("query name"), "{err}");
+
+        let mut b = ClickGraphBuilder::new();
+        b.add_named("camera", "hp.com\nbestbuy.com", EdgeData::from_clicks(1));
+        let g = b.build();
+        let err = write_tsv(&g, Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("ad name"), "{err}");
+    }
+
+    #[test]
+    fn comment_query_name_rejected_on_write() {
+        let mut b = ClickGraphBuilder::new();
+        b.add_named("#1 shoes", "store.com", EdgeData::from_clicks(1));
+        let g = b.build();
+        let err = write_tsv(&g, Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("comment"), "{err}");
+    }
+
+    #[test]
+    fn extra_fields_reported_on_read() {
+        let tsv = "camera\tcheap\thp.com\t10\t2\t0.2\n";
+        let err = read_tsv(tsv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("embedded tab"), "{err}");
+    }
+
+    #[test]
+    fn bad_field_reported_with_content() {
+        let tsv = "q\tad\tmany\t2\t0.2\n";
+        let err = read_tsv(tsv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("\"many\""), "{err}");
+    }
+
+    #[test]
+    fn adversarial_names_roundtrip() {
+        // Everything short of tabs/newlines/leading-# must survive verbatim:
+        // spaces, quotes, unicode, '#' in the middle, '=' and ':' (the serve
+        // protocol separators are tabs, so these are all legal).
+        let mut b = ClickGraphBuilder::new();
+        for (q, a) in [
+            ("digital camera", "hp.com"),
+            ("caméra pas chère", "amazon.fr"),
+            ("\"quoted\" query", "ad #5"),
+            ("a=b:c", "weird ad"),
+        ] {
+            b.add_named(q, a, EdgeData::from_clicks(2));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(g2.n_edges(), g.n_edges());
+        for (q, a, e) in g.edges() {
+            let q2 = g2.query_by_name(g.query_name(q).unwrap()).unwrap();
+            let a2 = g2.ad_by_name(g.ad_name(a).unwrap()).unwrap();
+            assert_eq!(g2.edge(q2, a2).unwrap(), e);
+        }
     }
 
     #[test]

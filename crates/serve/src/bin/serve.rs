@@ -1,0 +1,161 @@
+//! Build, inspect, and serve rewrite indexes from the command line.
+//!
+//! ```text
+//! serve build <graph.tsv> <out.idx> [method]   offline: TSV graph → snapshot
+//! serve build --fixture fig3 <out.idx> [method]   (the paper's Figure 3 graph)
+//! serve run <index.idx>                        online: line protocol on stdin/stdout
+//! serve run --graph <graph.tsv> [method]       build in memory, then serve
+//! serve info <index.idx>                       print snapshot header + stats
+//! ```
+//!
+//! `method` is one of `naive | pearson | simrank | evidence | weighted`
+//! (default `weighted`, the paper's best). Diagnostics go to stderr; stdout
+//! carries only the line protocol, so `serve run` pipes cleanly.
+
+use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
+use simrankpp_graph::fixtures::figure3_graph;
+use simrankpp_graph::{io::read_tsv, ClickGraph, WeightKind};
+use simrankpp_serve::{serve_lines, RewriteIndex};
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage:
+  serve build <graph.tsv>|--fixture fig3 <out.idx> [method]
+  serve run <index.idx>
+  serve run --graph <graph.tsv> [method]
+  serve info <index.idx>
+method: naive | pearson | simrank | evidence | weighted (default weighted)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn method_kind(name: &str) -> Result<MethodKind, String> {
+    Ok(match name {
+        "naive" => MethodKind::Naive,
+        "pearson" => MethodKind::Pearson,
+        "simrank" => MethodKind::Simrank,
+        "evidence" => MethodKind::EvidenceSimrank,
+        "weighted" => MethodKind::WeightedSimrank,
+        other => return Err(format!("unknown method {other:?}\n{USAGE}")),
+    })
+}
+
+fn load_graph(source: &str, fixture: bool) -> Result<ClickGraph, String> {
+    if fixture {
+        return match source {
+            "fig3" => Ok(figure3_graph()),
+            other => Err(format!("unknown fixture {other:?} (only: fig3)")),
+        };
+    }
+    let file = File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+    read_tsv(BufReader::new(file)).map_err(|e| format!("cannot parse {source}: {e}"))
+}
+
+fn build_index(graph: &ClickGraph, kind: MethodKind) -> RewriteIndex {
+    let t0 = Instant::now();
+    let config = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+    let method = Method::compute(kind, graph, &config);
+    eprintln!(
+        "computed {} over {} queries / {} ads in {:.1?}",
+        kind.name(),
+        graph.n_queries(),
+        graph.n_ads(),
+        t0.elapsed()
+    );
+    let t1 = Instant::now();
+    let rewriter = Rewriter::new(graph, method, RewriterConfig::default());
+    let index = RewriteIndex::build(&rewriter, None, 0);
+    eprintln!(
+        "indexed {} rewrites for {} queries in {:.1?}",
+        index.n_entries(),
+        index.n_queries(),
+        t1.elapsed()
+    );
+    index
+}
+
+fn build(args: &[String]) -> Result<(), String> {
+    let (graph, rest) = match args.first().map(String::as_str) {
+        Some("--fixture") => {
+            let name = args.get(1).ok_or(USAGE.to_owned())?;
+            (load_graph(name, true)?, &args[2..])
+        }
+        Some(path) => (load_graph(path, false)?, &args[1..]),
+        None => return Err(USAGE.to_owned()),
+    };
+    let out = rest.first().ok_or(USAGE.to_owned())?;
+    let kind = method_kind(rest.get(1).map(String::as_str).unwrap_or("weighted"))?;
+
+    let index = build_index(&graph, kind);
+    index
+        .save(out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("snapshot written to {out}");
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let index = match args.first().map(String::as_str) {
+        Some("--graph") => {
+            let path = args.get(1).ok_or(USAGE.to_owned())?;
+            let kind = method_kind(args.get(2).map(String::as_str).unwrap_or("weighted"))?;
+            build_index(&load_graph(path, false)?, kind)
+        }
+        Some(path) => {
+            let index = RewriteIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            eprintln!(
+                "loaded {}: {} queries, {} rewrites ({})",
+                path,
+                index.n_queries(),
+                index.n_entries(),
+                index.meta().method.name()
+            );
+            index
+        }
+        None => return Err(USAGE.to_owned()),
+    };
+    let stdin = io::stdin();
+    serve_lines(&index, stdin.lock(), io::stdout()).map_err(|e| format!("protocol error: {e}"))
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE.to_owned())?;
+    let index = RewriteIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let covered = (0..index.n_queries())
+        .filter(|&q| {
+            !index
+                .rewrites_of(simrankpp_graph::QueryId(q as u32))
+                .is_empty()
+        })
+        .count();
+    println!("snapshot        {path}");
+    println!("method          {}", index.meta().method.name());
+    println!("max rewrites    {}", index.meta().max_rewrites);
+    println!("bid filtered    {}", index.meta().bid_filtered);
+    println!("queries         {}", index.n_queries());
+    println!("rewrites        {}", index.n_entries());
+    println!(
+        "coverage        {:.4}",
+        covered as f64 / index.n_queries().max(1) as f64
+    );
+    Ok(())
+}

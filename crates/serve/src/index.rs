@@ -1,0 +1,401 @@
+//! The immutable precomputed top-k rewrite index.
+//!
+//! `build` runs the full §9.3 pipeline — top-100 candidates → stem-dedup →
+//! bid filter → top-5 — for *every* query of the click graph, offline and in
+//! parallel, then freezes the results into one flat arena:
+//!
+//! ```text
+//! offsets: [0, 2, 5, 5, ...]          one entry per query + end sentinel
+//! targets: [q7, q3, q1, q9, q2, ...]  rewrite ids, ranking order per row
+//! scores:  [.61, .43, ...]            parallel to targets
+//! ```
+//!
+//! Lookups slice the arena — no per-request allocation — and an optional
+//! cloned name interner answers `lookup("camera")` for the line protocol.
+
+use serde::{Deserialize, Serialize};
+use simrankpp_core::{MethodKind, Rewriter};
+use simrankpp_graph::{Interner, QueryId};
+use simrankpp_util::FxHashSet;
+
+/// Provenance carried by an index (and through snapshots): what produced the
+/// rows, so a server can refuse mismatched artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexMeta {
+    /// The similarity method the rows were ranked by.
+    pub method: MethodKind,
+    /// The per-query row-length cap the pipeline ran with (paper: 5).
+    pub max_rewrites: u32,
+    /// Whether the §9.3 bid-term filter was applied at build time.
+    pub bid_filtered: bool,
+}
+
+/// An immutable query → top-k rewrites index over one click graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RewriteIndex {
+    pub(crate) meta: IndexMeta,
+    pub(crate) n_queries: u32,
+    /// `offsets[q]..offsets[q + 1]` is query `q`'s row in the arenas.
+    pub(crate) offsets: Vec<u32>,
+    /// Rewrite target ids, ranking order within each row.
+    pub(crate) targets: Vec<u32>,
+    /// Final method scores, parallel to `targets`.
+    pub(crate) scores: Vec<f64>,
+    /// Query display names, when the source graph had them.
+    pub(crate) names: Option<Interner>,
+}
+
+impl RewriteIndex {
+    /// Runs the offline pipeline for every query of `rewriter`'s graph with
+    /// `threads` chunked workers (`0` = all cores) and freezes the results.
+    ///
+    /// Each worker drives the name-free [`Rewriter::rewrite_ids_into`] with
+    /// one reused buffer and emits a chunk-local arena; stitching the chunks
+    /// in order keeps the result deterministic for any thread count.
+    pub fn build(
+        rewriter: &Rewriter,
+        bid_terms: Option<&FxHashSet<QueryId>>,
+        threads: usize,
+    ) -> RewriteIndex {
+        let g = rewriter.graph();
+        let chunks = simrankpp_core::engine::parallel::run_chunked(g.n_queries(), threads, |r| {
+            let mut row = Vec::new();
+            let mut lens = Vec::with_capacity(r.len());
+            let mut targets = Vec::new();
+            let mut scores = Vec::new();
+            for q in r {
+                rewriter.rewrite_ids_into(QueryId(q as u32), bid_terms, &mut row);
+                lens.push(row.len() as u32);
+                for &(t, s) in &row {
+                    targets.push(t.0);
+                    scores.push(s);
+                }
+            }
+            (lens, targets, scores)
+        });
+
+        let mut offsets = Vec::with_capacity(g.n_queries() + 1);
+        let mut targets = Vec::new();
+        let mut scores = Vec::new();
+        let mut total = 0u64;
+        offsets.push(0u32);
+        for (chunk_lens, chunk_targets, chunk_scores) in chunks {
+            for len in chunk_lens {
+                total += u64::from(len);
+                assert!(
+                    total < u64::from(u32::MAX),
+                    "index exceeds u32 arena offsets"
+                );
+                offsets.push(total as u32);
+            }
+            targets.extend_from_slice(&chunk_targets);
+            scores.extend_from_slice(&chunk_scores);
+        }
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        targets.shrink_to_fit();
+        scores.shrink_to_fit();
+
+        RewriteIndex {
+            meta: IndexMeta {
+                method: rewriter.method().kind(),
+                max_rewrites: rewriter.config().max_rewrites as u32,
+                bid_filtered: bid_terms.is_some(),
+            },
+            n_queries: g.n_queries() as u32,
+            offsets,
+            targets,
+            scores,
+            names: g.query_interner().cloned(),
+        }
+    }
+
+    /// Build provenance.
+    pub fn meta(&self) -> &IndexMeta {
+        &self.meta
+    }
+
+    /// Number of indexed queries.
+    pub fn n_queries(&self) -> usize {
+        self.n_queries as usize
+    }
+
+    /// Total stored rewrites across all rows.
+    pub fn n_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The precomputed rewrites of `q` — borrowed slices, no allocation.
+    #[inline]
+    pub fn rewrites_of(&self, q: QueryId) -> RewriteSet<'_> {
+        let lo = self.offsets[q.index()] as usize;
+        let hi = self.offsets[q.index() + 1] as usize;
+        RewriteSet {
+            index: self,
+            targets: &self.targets[lo..hi],
+            scores: &self.scores[lo..hi],
+        }
+    }
+
+    /// Name-keyed lookup for the serving front door.
+    #[inline]
+    pub fn lookup(&self, name: &str) -> Option<RewriteSet<'_>> {
+        let id = self.names.as_ref()?.get(name)?;
+        Some(self.rewrites_of(QueryId(id)))
+    }
+
+    /// The display name of an indexed query, when names were recorded.
+    #[inline]
+    pub fn query_name(&self, q: QueryId) -> Option<&str> {
+        self.names.as_ref().and_then(|i| i.name(q.0))
+    }
+
+    /// JSON snapshot (human-inspectable; prefer the binary format for size).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("index serialization cannot fail")
+    }
+
+    /// Parses a JSON snapshot, rebuilds the name lookup (serde skips the
+    /// reverse index), and validates the structure.
+    pub fn from_json(json: &str) -> Result<RewriteIndex, String> {
+        let mut index: RewriteIndex = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if let Some(i) = index.names.as_mut() {
+            i.rebuild_index();
+        }
+        index.validate()?;
+        Ok(index)
+    }
+
+    /// Checks every structural invariant; snapshot loading runs this, so a
+    /// corrupt or hand-edited artifact is rejected before it serves traffic.
+    ///
+    /// Verified: offset shape/monotonicity, arena lengths, target ids in
+    /// range and off the diagonal, finite scores in non-increasing ranking
+    /// order, row lengths within `meta.max_rewrites`, and that the name
+    /// table is a bijection (a duplicated name would route lookups to the
+    /// wrong query's row).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_queries as usize;
+        if self.offsets.len() != n + 1 {
+            return Err(format!(
+                "offsets has {} entries for {} queries",
+                self.offsets.len(),
+                n
+            ));
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+            return Err("last offset != target count".into());
+        }
+        if self.targets.len() != self.scores.len() {
+            return Err("targets/scores arenas must be parallel".into());
+        }
+        for q in 0..n {
+            let (lo, hi) = (self.offsets[q] as usize, self.offsets[q + 1] as usize);
+            if hi - lo > self.meta.max_rewrites as usize {
+                return Err(format!("query {q}: row exceeds max_rewrites"));
+            }
+            for i in lo..hi {
+                if self.targets[i] as usize >= n {
+                    return Err(format!("query {q}: target id out of range"));
+                }
+                if self.targets[i] as usize == q {
+                    return Err(format!("query {q}: listed as its own rewrite"));
+                }
+                if !self.scores[i].is_finite() {
+                    return Err(format!("query {q}: non-finite score"));
+                }
+                if i > lo && self.scores[i] > self.scores[i - 1] {
+                    return Err(format!("query {q}: scores not in ranking order"));
+                }
+            }
+        }
+        if let Some(names) = &self.names {
+            if names.len() > n {
+                return Err(format!(
+                    "name table has {} entries for {} queries",
+                    names.len(),
+                    n
+                ));
+            }
+            for (id, name) in names.iter() {
+                if names.get(name) != Some(id) {
+                    return Err(format!("duplicate query name {name:?} in name table"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed view of one query's precomputed rewrites.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteSet<'i> {
+    index: &'i RewriteIndex,
+    targets: &'i [u32],
+    scores: &'i [f64],
+}
+
+impl<'i> RewriteSet<'i> {
+    /// Number of rewrites (the method's §9.4 *depth* for this query).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` when the pipeline left this query uncovered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Rewrite target ids in ranking order.
+    #[inline]
+    pub fn ids(&self) -> &'i [u32] {
+        self.targets
+    }
+
+    /// Final scores, parallel to [`RewriteSet::ids`].
+    #[inline]
+    pub fn scores(&self) -> &'i [f64] {
+        self.scores
+    }
+
+    /// Iterates `(target, score, name)` in ranking order.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, f64, Option<&'i str>)> + 'i {
+        let index = self.index;
+        self.targets
+            .iter()
+            .zip(self.scores)
+            .map(move |(&t, &s)| (QueryId(t), s, index.query_name(QueryId(t))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_core::{Method, RewriterConfig, SimrankConfig};
+    use simrankpp_graph::fixtures::figure3_graph;
+    use simrankpp_graph::WeightKind;
+
+    fn fig3_index() -> RewriteIndex {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(MethodKind::WeightedSimrank, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        RewriteIndex::build(&rewriter, None, 1)
+    }
+
+    #[test]
+    fn figure3_index_serves_expected_rewrites() {
+        let index = fig3_index();
+        index.validate().unwrap();
+        assert_eq!(index.n_queries(), 5);
+        let camera = index.lookup("camera").unwrap();
+        assert!(!camera.is_empty());
+        let (_, _, name) = camera.iter().next().unwrap();
+        assert_eq!(name, Some("digital camera"));
+        // flower is isolated from the rest of the graph.
+        assert!(index.lookup("flower").unwrap().is_empty());
+        assert!(index.lookup("no such query").is_none());
+    }
+
+    #[test]
+    fn index_matches_live_rewriter() {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(MethodKind::WeightedSimrank, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        let index = RewriteIndex::build(&rewriter, None, 1);
+        for q in g.queries() {
+            let live = rewriter.rewrites(q, None);
+            let served = index.rewrites_of(q);
+            assert_eq!(served.len(), live.len());
+            for (got, want) in served.iter().zip(&live) {
+                assert_eq!(got.0, want.query);
+                assert_eq!(got.1, want.score);
+                assert_eq!(got.2, want.name.as_deref());
+            }
+        }
+    }
+
+    #[test]
+    fn bid_filter_recorded_and_applied() {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(MethodKind::Simrank, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        let mut bids = FxHashSet::default();
+        bids.insert(g.query_by_name("digital camera").unwrap());
+        let index = RewriteIndex::build(&rewriter, Some(&bids), 2);
+        index.validate().unwrap();
+        assert!(index.meta().bid_filtered);
+        // camera, pc and tv all reach "digital camera" (the only bid term);
+        // everything else is filtered, and flower reaches nothing.
+        let camera = index.lookup("camera").unwrap();
+        assert_eq!(camera.len(), 1);
+        assert_eq!(index.lookup("tv").unwrap().len(), 1);
+        assert_eq!(index.lookup("pc").unwrap().len(), 1);
+        assert!(index.lookup("flower").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_name_in_json_snapshot_rejected() {
+        // A duplicated name would make the rebuilt name index route lookups
+        // to the wrong query's row; from_json must refuse it.
+        let json = fig3_index().to_json();
+        let forged = json.replace("\"pc\"", "\"tv\"");
+        assert_ne!(json, forged, "fixture must contain the pc query name");
+        let err = RewriteIndex::from_json(&forged).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_lookups() {
+        let index = fig3_index();
+        let loaded = RewriteIndex::from_json(&index.to_json()).unwrap();
+        assert_eq!(loaded.n_entries(), index.n_entries());
+        for q in 0..index.n_queries() {
+            let q = QueryId(q as u32);
+            assert_eq!(loaded.rewrites_of(q).ids(), index.rewrites_of(q).ids());
+            assert_eq!(
+                loaded.rewrites_of(q).scores(),
+                index.rewrites_of(q).scores()
+            );
+        }
+        // Name lookup works after the reverse index rebuild.
+        assert!(loaded.lookup("camera").is_some());
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let good = fig3_index();
+
+        let mut bad = good.clone();
+        bad.targets[0] = bad.n_queries; // out of range
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.scores[0] = f64::NAN;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.offsets[1] = bad.offsets[2] + 1; // non-monotone
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        if let Some(row_start) = bad.offsets.iter().position(|&o| o > 0) {
+            let q = row_start - 1;
+            bad.targets[0] = q as u32; // self rewrite
+            assert!(bad.validate().is_err());
+        }
+
+        let mut bad = good;
+        bad.scores.pop();
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! The rewrite-serving layer: Figure 2's online half.
+//!
+//! The paper's pipeline (§9.3) scores, dedups and filters candidates *per
+//! incoming query* — far too expensive to run at sponsored-search traffic
+//! rates. Following the offline/online split of "Efficient SimRank
+//! Computation via Linearization", this crate precomputes the **entire**
+//! pipeline for every query of the click graph and freezes the result:
+//!
+//! * [`RewriteIndex`] — an immutable flat-arena index mapping every query to
+//!   its final top-5 rewrites, built in parallel with the engine's chunked
+//!   scoped-thread workers. Single and batched lookups return borrowed
+//!   slices: zero allocation on the hot path.
+//! * [`snapshot`] — versioned, checksummed binary persistence plus
+//!   serde-JSON, so an index is built once and loaded by server processes.
+//! * [`server`] — the stdin/stdout line protocol (`rewrite <query>`,
+//!   `batch <file>`) spoken by the `serve` binary.
+
+pub mod index;
+pub mod server;
+pub mod snapshot;
+
+pub use index::{IndexMeta, RewriteIndex, RewriteSet};
+pub use server::serve_lines;

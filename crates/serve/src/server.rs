@@ -1,0 +1,221 @@
+//! The stdin/stdout line protocol spoken by the `serve` binary.
+//!
+//! Requests, one per line:
+//!
+//! * `rewrite <query>` — serve the precomputed rewrites of one query;
+//! * `batch <path>` — serve every query listed in `<path>` (one per line,
+//!   blank lines and `#` comments skipped), then a `done` summary;
+//! * `quit` — clean shutdown (EOF works too).
+//!
+//! Responses are single tab-separated lines. TSV-loaded graphs cannot carry
+//! tabs in names (`write_tsv` rejects them), but programmatically built
+//! graphs and arbitrary client input can — every echoed field is therefore
+//! sanitized (tabs/newlines become spaces) so one response is always exactly
+//! one line with intact framing:
+//!
+//! * `ok\t<query>\t<k>[\t<name>\t<score>]...` — `k` rewrites in ranking
+//!   order; an unnamed rewrite target prints as `#<id>`;
+//! * `err\t<reason>\t<detail>` — unknown query / command / unreadable file;
+//! * `done\t<count>` — closes a `batch` response block (always emitted, even
+//!   when the batch file fails mid-read);
+//! * `bye` — acknowledges `quit`.
+
+use crate::index::RewriteIndex;
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+
+/// Replaces frame-breaking characters in an echoed field; borrows (no
+/// allocation) in the normal tab-free case.
+fn clean(field: &str) -> Cow<'_, str> {
+    if field.contains(['\t', '\n', '\r']) {
+        Cow::Owned(field.replace(['\t', '\n', '\r'], " "))
+    } else {
+        Cow::Borrowed(field)
+    }
+}
+
+/// Drives the line protocol over any reader/writer pair until EOF or `quit`.
+/// Output is flushed after every request so interactive pipes see responses
+/// immediately.
+pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W) -> io::Result<()> {
+    let mut out = BufWriter::new(out);
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, arg) = match line.split_once(' ') {
+            Some((c, a)) => (c, a.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "rewrite" => respond(index, arg, &mut out)?,
+            "batch" => match File::open(arg) {
+                Err(e) => writeln!(out, "err\tcannot read batch file\t{}: {e}", clean(arg))?,
+                Ok(f) => {
+                    let mut served = 0usize;
+                    for q in BufReader::new(f).lines() {
+                        // A mid-file read error must not kill the serve loop
+                        // or leave the response block without its `done`
+                        // terminator — report it and close the batch.
+                        let q = match q {
+                            Ok(q) => q,
+                            Err(e) => {
+                                writeln!(out, "err\tbatch read failed\t{}: {e}", clean(arg))?;
+                                break;
+                            }
+                        };
+                        let q = q.trim();
+                        if q.is_empty() || q.starts_with('#') {
+                            continue;
+                        }
+                        respond(index, q, &mut out)?;
+                        served += 1;
+                    }
+                    writeln!(out, "done\t{served}")?;
+                }
+            },
+            "quit" => {
+                writeln!(out, "bye")?;
+                out.flush()?;
+                break;
+            }
+            _ => writeln!(out, "err\tunknown command\t{}", clean(cmd))?,
+        }
+        out.flush()?;
+    }
+    out.flush()
+}
+
+fn respond<W: Write>(index: &RewriteIndex, query: &str, out: &mut W) -> io::Result<()> {
+    let Some(set) = index.lookup(query) else {
+        return writeln!(out, "err\tunknown query\t{}", clean(query));
+    };
+    write!(out, "ok\t{}\t{}", clean(query), set.len())?;
+    for (id, score, name) in set.iter() {
+        match name {
+            Some(n) => write!(out, "\t{}\t{score:.6}", clean(n))?,
+            None => write!(out, "\t#{}\t{score:.6}", id.0)?,
+        }
+    }
+    writeln!(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
+    use simrankpp_graph::fixtures::figure3_graph;
+    use simrankpp_graph::WeightKind;
+
+    fn fig3_index() -> RewriteIndex {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(MethodKind::WeightedSimrank, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        RewriteIndex::build(&rewriter, None, 1)
+    }
+
+    fn run(input: &str) -> String {
+        let index = fig3_index();
+        let mut out = Vec::new();
+        serve_lines(&index, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn rewrite_command_serves_ranked_names() {
+        let out = run("rewrite camera\n");
+        let line = out.lines().next().unwrap();
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields[0], "ok");
+        assert_eq!(fields[1], "camera");
+        let k: usize = fields[2].parse().unwrap();
+        assert!(k >= 1);
+        assert_eq!(fields[3], "digital camera");
+        assert_eq!(fields.len(), 3 + 2 * k);
+    }
+
+    #[test]
+    fn unknown_query_and_command_report_errors() {
+        let out = run("rewrite zzz\nfrobnicate\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("err\tunknown query\tzzz"));
+        assert!(lines[1].starts_with("err\tunknown command\tfrobnicate"));
+    }
+
+    #[test]
+    fn empty_depth_is_ok_zero() {
+        // flower is indexed but has no rewrites: ok with k = 0, not an error.
+        let out = run("rewrite flower\n");
+        assert_eq!(out.lines().next().unwrap(), "ok\tflower\t0");
+    }
+
+    #[test]
+    fn multiword_queries_reach_the_index() {
+        let out = run("rewrite digital camera\n");
+        assert!(out.starts_with("ok\tdigital camera\t"));
+    }
+
+    #[test]
+    fn quit_acknowledged_and_stops() {
+        let out = run("quit\nrewrite camera\n");
+        assert_eq!(out, "bye\n");
+    }
+
+    #[test]
+    fn batch_mode_serves_file() {
+        let path = std::env::temp_dir().join("simrankpp_serve_batch_test.txt");
+        std::fs::write(&path, "camera\n# comment\n\npc\nzzz\n").unwrap();
+        let out = run(&format!("batch {}\n", path.display()));
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ok\tcamera\t"));
+        assert!(lines[1].starts_with("ok\tpc\t"));
+        assert!(lines[2].starts_with("err\tunknown query\tzzz"));
+        assert_eq!(lines[3], "done\t3");
+    }
+
+    #[test]
+    fn missing_batch_file_is_an_error_line() {
+        let out = run("batch /no/such/file\n");
+        assert!(out.starts_with("err\tcannot read batch file\t"));
+    }
+
+    #[test]
+    fn tab_in_request_cannot_break_framing() {
+        // A query containing a tab is echoed sanitized: the err response
+        // stays exactly 3 tab-separated fields on one line.
+        let out = run("rewrite a\tb\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].split('\t').collect::<Vec<_>>(),
+            vec!["err", "unknown query", "a b"]
+        );
+    }
+
+    #[test]
+    fn tab_in_indexed_name_is_sanitized_on_output() {
+        // Programmatically built graphs (not passing through write_tsv) can
+        // carry tabs in names; the protocol must still frame correctly.
+        use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+        let mut b = ClickGraphBuilder::new();
+        b.add_named("x\ty", "ad", EdgeData::from_clicks(3));
+        b.add_named("z", "ad", EdgeData::from_clicks(2));
+        let g = b.build();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(MethodKind::Simrank, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        let index = RewriteIndex::build(&rewriter, None, 1);
+        let mut out = Vec::new();
+        serve_lines(&index, "rewrite z\n".as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let fields: Vec<&str> = out.trim_end().split('\t').collect();
+        assert_eq!(fields[..3], ["ok", "z", "1"]);
+        assert_eq!(fields[3], "x y");
+        assert_eq!(fields.len(), 5);
+    }
+}

@@ -1,0 +1,354 @@
+//! Versioned binary snapshot persistence for [`RewriteIndex`].
+//!
+//! Layout (integers little-endian):
+//!
+//! ```text
+//! magic "SRPPIDX\0" | version u32 | method u8 | max_rewrites u32 |
+//! bid_filtered u8 | has_names u8 | n_queries u32 | n_entries u64 |
+//! offsets (n_queries+1) × u32 | targets n_entries × u32 |
+//! scores n_entries × f64-bits | [n_names u32, (len u32, utf8 bytes)...] |
+//! checksum u64
+//! ```
+//!
+//! The trailing checksum is FNV-1a over every byte after the magic/version
+//! prefix, so truncation and bit-rot are detected before
+//! [`RewriteIndex::validate`] checks the structural invariants. Loading
+//! runs both.
+
+use crate::index::{IndexMeta, RewriteIndex};
+use simrankpp_core::MethodKind;
+use simrankpp_graph::Interner;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 8] = *b"SRPPIDX\0";
+const VERSION: u32 = 1;
+
+/// Longest name accepted on read; anything larger indicates corruption
+/// rather than a real query string.
+const MAX_NAME_BYTES: u32 = 1 << 20;
+
+/// Pre-allocation cap per section while reading. Header counts are
+/// untrusted until the checksum verifies, so a corrupt length field must
+/// produce an `Err` (via EOF while reading elements), never an up-front
+/// absurd allocation that aborts the process.
+const PREALLOC_CAP: usize = 1 << 20;
+
+impl RewriteIndex {
+    /// Writes the binary snapshot format to `out`.
+    pub fn write_snapshot<W: Write>(&self, out: W) -> io::Result<()> {
+        let mut w = HashingWriter::new(BufWriter::new(out));
+        w.inner.write_all(&MAGIC)?;
+        w.inner.write_all(&VERSION.to_le_bytes())?;
+
+        w.write_all(&[kind_to_u8(self.meta.method)])?;
+        w.write_all(&self.meta.max_rewrites.to_le_bytes())?;
+        w.write_all(&[self.meta.bid_filtered as u8, self.names.is_some() as u8])?;
+        w.write_all(&self.n_queries.to_le_bytes())?;
+        w.write_all(&(self.targets.len() as u64).to_le_bytes())?;
+        for &o in &self.offsets {
+            w.write_all(&o.to_le_bytes())?;
+        }
+        for &t in &self.targets {
+            w.write_all(&t.to_le_bytes())?;
+        }
+        for &s in &self.scores {
+            w.write_all(&s.to_bits().to_le_bytes())?;
+        }
+        if let Some(names) = &self.names {
+            w.write_all(&(names.len() as u32).to_le_bytes())?;
+            for (_, name) in names.iter() {
+                w.write_all(&(name.len() as u32).to_le_bytes())?;
+                w.write_all(name.as_bytes())?;
+            }
+        }
+        let checksum = w.hash;
+        w.write_all(&checksum.to_le_bytes())?;
+        w.inner.flush()
+    }
+
+    /// Reads a binary snapshot, verifying magic, version, checksum, and the
+    /// full set of [`RewriteIndex::validate`] invariants.
+    pub fn read_snapshot<R: Read>(input: R) -> io::Result<RewriteIndex> {
+        let mut r = HashingReader::new(BufReader::new(input));
+        let mut magic = [0u8; 8];
+        r.inner.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(corrupt("not a rewrite-index snapshot (bad magic)"));
+        }
+        let version = u32::from_le_bytes(read_array(&mut r.inner)?);
+        if version != VERSION {
+            return Err(corrupt(&format!(
+                "unsupported snapshot version {version} (expected {VERSION})"
+            )));
+        }
+
+        let method = kind_from_u8(read_u8(&mut r)?)
+            .ok_or_else(|| corrupt("unknown method kind in header"))?;
+        let max_rewrites = u32::from_le_bytes(read_array(&mut r)?);
+        let bid_filtered = read_u8(&mut r)? != 0;
+        let has_names = read_u8(&mut r)? != 0;
+        let n_queries = u32::from_le_bytes(read_array(&mut r)?);
+        let n_entries = u64::from_le_bytes(read_array(&mut r)?) as usize;
+
+        let mut offsets = Vec::with_capacity((n_queries as usize + 1).min(PREALLOC_CAP));
+        for _ in 0..n_queries as usize + 1 {
+            offsets.push(u32::from_le_bytes(read_array(&mut r)?));
+        }
+        let mut targets = Vec::with_capacity(n_entries.min(PREALLOC_CAP));
+        for _ in 0..n_entries {
+            targets.push(u32::from_le_bytes(read_array(&mut r)?));
+        }
+        let mut scores = Vec::with_capacity(n_entries.min(PREALLOC_CAP));
+        for _ in 0..n_entries {
+            scores.push(f64::from_bits(u64::from_le_bytes(read_array(&mut r)?)));
+        }
+        let names = if has_names {
+            let n_names = u32::from_le_bytes(read_array(&mut r)?);
+            let mut interner = Interner::new();
+            for i in 0..n_names {
+                let len = u32::from_le_bytes(read_array(&mut r)?);
+                if len > MAX_NAME_BYTES {
+                    return Err(corrupt("name length out of range"));
+                }
+                let mut buf = vec![0u8; len as usize];
+                r.read_exact(&mut buf)?;
+                let name =
+                    String::from_utf8(buf).map_err(|_| corrupt("name is not valid UTF-8"))?;
+                // Interning dedups: a repeated name would silently shift every
+                // later id, serving the wrong query's rewrites. Refuse instead.
+                if interner.intern(&name) != i {
+                    return Err(corrupt(&format!("duplicate name {name:?} in name table")));
+                }
+            }
+            Some(interner)
+        } else {
+            None
+        };
+
+        let computed = r.hash;
+        let stored = u64::from_le_bytes(read_array(&mut r.inner)?);
+        if stored != computed {
+            return Err(corrupt("checksum mismatch (truncated or corrupt snapshot)"));
+        }
+
+        let index = RewriteIndex {
+            meta: IndexMeta {
+                method,
+                max_rewrites,
+                bid_filtered,
+            },
+            n_queries,
+            offsets,
+            targets,
+            scores,
+            names,
+        };
+        index
+            .validate()
+            .map_err(|e| corrupt(&format!("invalid index structure: {e}")))?;
+        Ok(index)
+    }
+
+    /// Writes the binary snapshot to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.write_snapshot(File::create(path)?)
+    }
+
+    /// Loads a binary snapshot from `path`.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<RewriteIndex> {
+        Self::read_snapshot(File::open(path)?)
+    }
+}
+
+fn kind_to_u8(kind: MethodKind) -> u8 {
+    match kind {
+        MethodKind::Naive => 0,
+        MethodKind::Pearson => 1,
+        MethodKind::Simrank => 2,
+        MethodKind::EvidenceSimrank => 3,
+        MethodKind::WeightedSimrank => 4,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Option<MethodKind> {
+    Some(match b {
+        0 => MethodKind::Naive,
+        1 => MethodKind::Pearson,
+        2 => MethodKind::Simrank,
+        3 => MethodKind::EvidenceSimrank,
+        4 => MethodKind::WeightedSimrank,
+        _ => return None,
+    })
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_array<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Write adapter accumulating an FNV-1a hash of everything written through
+/// it (header prefix and final checksum bypass via `.inner`).
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash = fnv1a(self.hash, bytes);
+        self.inner.write_all(bytes)
+    }
+}
+
+/// Read adapter mirroring [`HashingWriter`].
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_core::{Method, Rewriter, RewriterConfig, SimrankConfig};
+    use simrankpp_graph::fixtures::figure3_graph;
+    use simrankpp_graph::{QueryId, WeightKind};
+
+    fn fig3_index(kind: MethodKind) -> RewriteIndex {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(kind, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        RewriteIndex::build(&rewriter, None, 1)
+    }
+
+    fn roundtrip(index: &RewriteIndex) -> RewriteIndex {
+        let mut buf = Vec::new();
+        index.write_snapshot(&mut buf).unwrap();
+        RewriteIndex::read_snapshot(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip_is_identical() {
+        for kind in MethodKind::EVALUATED {
+            let index = fig3_index(kind);
+            let loaded = roundtrip(&index);
+            assert_eq!(loaded.meta(), index.meta());
+            assert_eq!(loaded.offsets, index.offsets);
+            assert_eq!(loaded.targets, index.targets);
+            // Scores roundtrip bit-exactly.
+            for (a, b) in loaded.scores.iter().zip(&index.scores) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert!(loaded.lookup("camera").is_some());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = RewriteIndex::read_snapshot(&b"NOTANIDX________"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let index = fig3_index(MethodKind::Simrank);
+        let mut buf = Vec::new();
+        index.write_snapshot(&mut buf).unwrap();
+        buf[8] = 99; // version byte
+        let err = RewriteIndex::read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn corruption_caught_by_checksum() {
+        let index = fig3_index(MethodKind::Simrank);
+        let mut buf = Vec::new();
+        index.write_snapshot(&mut buf).unwrap();
+        // Flip one payload byte somewhere in the middle.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xff;
+        let err = RewriteIndex::read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum") || err.to_string().contains("invalid"),);
+    }
+
+    #[test]
+    fn absurd_entry_count_rejected_without_allocating() {
+        // A corrupted n_entries header field (here u64::MAX) must come back
+        // as Err, not as a capacity-overflow abort from a trusted
+        // with_capacity call. Bytes 23..31 are the n_entries field (after
+        // magic 8, version 4, method 1, max_rewrites 4, flags 2, n_queries 4).
+        let index = fig3_index(MethodKind::Simrank);
+        let mut buf = Vec::new();
+        index.write_snapshot(&mut buf).unwrap();
+        buf[23..31].fill(0xff);
+        assert!(RewriteIndex::read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let index = fig3_index(MethodKind::Simrank);
+        let mut buf = Vec::new();
+        index.write_snapshot(&mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(RewriteIndex::read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_save_load_roundtrip() {
+        let index = fig3_index(MethodKind::WeightedSimrank);
+        let path = std::env::temp_dir().join("simrankpp_fig3_test.idx");
+        index.save(&path).unwrap();
+        let loaded = RewriteIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for q in 0..index.n_queries() {
+            let q = QueryId(q as u32);
+            assert_eq!(loaded.rewrites_of(q).ids(), index.rewrites_of(q).ids());
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`text`] | Porter stemmer, query normalization, stem-dedup (§9.3) |
 //! | [`synth`] | synthetic click-graph generator, position-bias click model, simulated editorial judge (Table 6), bids, traffic sampling, click-spam injection |
 //! | [`eval`] | §9.4 metrics: coverage, 11-pt precision/recall, P@X, depth bands, desirability prediction (Figures 8–12) |
+//! | [`serve`] | the online half of Fig. 2: precomputed top-k [`RewriteIndex`](serve::RewriteIndex), versioned binary/JSON snapshots, line-protocol `serve` binary |
 //! | [`util`] | fast hashing, top-k selection, online statistics |
 //!
 //! Engine convergence knobs on [`SimrankConfig`](prelude::SimrankConfig):
@@ -46,6 +47,7 @@ pub use simrankpp_core as core;
 pub use simrankpp_eval as eval;
 pub use simrankpp_graph as graph;
 pub use simrankpp_partition as partition;
+pub use simrankpp_serve as serve;
 pub use simrankpp_synth as synth;
 pub use simrankpp_text as text;
 pub use simrankpp_util as util;
