@@ -3,6 +3,26 @@
 use serde::{Deserialize, Serialize};
 use simrankpp_graph::WeightKind;
 
+/// How the engine decomposes the click graph before propagating
+/// (see `engine::sharded`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ShardStrategy {
+    /// One monolithic run over the whole graph (the historical behavior).
+    #[default]
+    Off,
+    /// One engine run per connected component, stitched back into global
+    /// ids. Exact: cross-component SimRank scores are provably zero, so the
+    /// score matrix is block-diagonal over components and the decomposition
+    /// changes no value (bit-identical for serial runs; see
+    /// `engine::sharded` for the fine print).
+    Components,
+    /// Component sharding plus ACL extraction of up to the given number of
+    /// low-conductance blocks out of the giant component
+    /// (`simrankpp_partition::extraction_sharding`). **Approximate**: edges
+    /// crossing an extraction cut are dropped, shrinking boundary scores.
+    Extracted(usize),
+}
+
 /// Parameters shared by all SimRank variants.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimrankConfig {
@@ -26,6 +46,12 @@ pub struct SimrankConfig {
     /// Worker threads for the sparse engines. `1` = serial (deterministic
     /// to the last bit), `0` = use all available cores.
     pub threads: usize,
+    /// Graph decomposition the unified engine applies before propagating:
+    /// per-component runs (exact) or ACL-extracted blocks (approximate).
+    /// Defaults on deserialize so configs saved before this field existed
+    /// still load.
+    #[serde(default)]
+    pub sharding: ShardStrategy,
 }
 
 impl Default for SimrankConfig {
@@ -38,6 +64,7 @@ impl Default for SimrankConfig {
             tolerance: 0.0,
             weight_kind: WeightKind::ExpectedClickRate,
             threads: 1,
+            sharding: ShardStrategy::Off,
         }
     }
 }
@@ -85,6 +112,12 @@ impl SimrankConfig {
         self
     }
 
+    /// Builder-style: set the shard strategy.
+    pub fn with_sharding(mut self, sharding: ShardStrategy) -> Self {
+        self.sharding = sharding;
+        self
+    }
+
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.c1) || !(0.0..=1.0).contains(&self.c2) {
@@ -98,6 +131,9 @@ impl SimrankConfig {
         }
         if !self.tolerance.is_finite() || self.tolerance < 0.0 {
             return Err("tolerance must be finite and non-negative".into());
+        }
+        if self.sharding == ShardStrategy::Extracted(0) {
+            return Err("ShardStrategy::Extracted needs at least one block".into());
         }
         Ok(())
     }
@@ -175,6 +211,42 @@ mod tests {
             ..SimrankConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sharding_builder_and_validation() {
+        let c = SimrankConfig::default();
+        assert_eq!(c.sharding, ShardStrategy::Off);
+        let c = c.with_sharding(ShardStrategy::Components);
+        assert_eq!(c.sharding, ShardStrategy::Components);
+        assert!(c.validate().is_ok());
+        assert!(SimrankConfig::default()
+            .with_sharding(ShardStrategy::Extracted(5))
+            .validate()
+            .is_ok());
+        assert!(SimrankConfig::default()
+            .with_sharding(ShardStrategy::Extracted(0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn deserializes_configs_saved_before_sharding_existed() {
+        // Back-compat: `sharding` was added after configs (e.g. inside
+        // repro_report.json) were already being persisted, so it must
+        // default rather than fail on older JSON.
+        let json = serde_json::to_string(&SimrankConfig::default()).unwrap();
+        assert!(json.contains("sharding"));
+        let legacy = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            match &mut v {
+                serde_json::Value::Object(m) => m.remove("sharding"),
+                other => panic!("config must serialize to an object, got {}", other.kind()),
+            };
+            serde_json::to_string(&v).unwrap()
+        };
+        let c: SimrankConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(c.sharding, ShardStrategy::Off);
     }
 
     #[test]

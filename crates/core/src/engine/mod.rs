@@ -27,17 +27,26 @@
 //!   are recorded for *all* variants, and [`crate::SimrankConfig::tolerance`]
 //!   enables early exit once the iteration becomes stationary.
 //!
+//! * [`sharded::run_sharded`] exploits the block-diagonal structure of the
+//!   score matrix over connected components (§9.2's "one huge connected
+//!   component and several smaller subgraphs"): one engine run per shard,
+//!   scheduled largest-first across scoped threads, stitched back into
+//!   global ids — exact for component sharding. [`run_with_strategy`]
+//!   dispatches on [`crate::config::ShardStrategy`].
+//!
 //! [`reference::run_hashmap`] keeps the historical hash-map accumulation path
 //! alive for cross-checking and the `bench_engine` comparison.
 
 pub mod accum;
 pub mod parallel;
 pub mod reference;
+pub mod sharded;
 pub mod transition;
 
+pub use sharded::run_sharded;
 pub use transition::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
 
-use crate::config::SimrankConfig;
+use crate::config::{ShardStrategy, SimrankConfig};
 use crate::scores::ScoreMatrix;
 use accum::{max_delta, FlatAccumulator, PairVec};
 use simrankpp_graph::{AdId, ClickGraph, QueryId};
@@ -81,6 +90,21 @@ impl NodeId for AdId {
     }
 }
 
+/// [`run`] output before freezing into [`ScoreMatrix`] form: key-sorted
+/// pair lists plus diagnostics. The sharded stitch consumes this directly —
+/// remapping and merging sorted vectors — so per-shard runs skip the
+/// per-shard `by_node` construction that [`EngineRun`] would pay, and the
+/// stitched result is frozen exactly once.
+#[derive(Debug)]
+pub(crate) struct RawRun {
+    pub(crate) q_pairs: PairVec,
+    pub(crate) a_pairs: PairVec,
+    pub(crate) pair_counts: Vec<(usize, usize)>,
+    pub(crate) max_deltas: Vec<f64>,
+    pub(crate) iterations_run: usize,
+    pub(crate) converged: bool,
+}
+
 /// Runs the unified Jacobi propagation loop for `transition` on `g`.
 ///
 /// Exact (bar floating-point rounding) when `config.prune_threshold == 0`;
@@ -88,6 +112,23 @@ impl NodeId for AdId {
 /// dropped after each iteration. When `config.tolerance > 0`, iteration stops
 /// as soon as the largest per-pair change on either side is at or below it.
 pub fn run<T: Transition>(g: &ClickGraph, config: &SimrankConfig, transition: &T) -> EngineRun {
+    let raw = run_raw(g, config, transition);
+    EngineRun {
+        queries: ScoreMatrix::from_sorted_pairs(g.n_queries(), raw.q_pairs),
+        ads: ScoreMatrix::from_sorted_pairs(g.n_ads(), raw.a_pairs),
+        pair_counts: raw.pair_counts,
+        max_deltas: raw.max_deltas,
+        iterations_run: raw.iterations_run,
+        converged: raw.converged,
+    }
+}
+
+/// [`run`] without the final freeze — the sharded engine's per-shard entry.
+pub(crate) fn run_raw<T: Transition>(
+    g: &ClickGraph,
+    config: &SimrankConfig,
+    transition: &T,
+) -> RawRun {
     config.validate().expect("invalid SimRank configuration");
     let factors = transition.factors(g);
     let threads = config.effective_threads();
@@ -138,13 +179,36 @@ pub fn run<T: Transition>(g: &ClickGraph, config: &SimrankConfig, transition: &T
     }
 
     let iterations_run = pair_counts.len();
-    EngineRun {
-        queries: ScoreMatrix::from_sorted_pairs(g.n_queries(), q_pairs),
-        ads: ScoreMatrix::from_sorted_pairs(g.n_ads(), a_pairs),
+    RawRun {
+        q_pairs,
+        a_pairs,
         pair_counts,
         max_deltas,
         iterations_run,
         converged,
+    }
+}
+
+/// Runs the engine under `config.sharding`: monolithic ([`run`]) when `Off`,
+/// per-connected-component ([`run_sharded`], exact) for `Components`, and
+/// ACL-extracted blocks (approximate) for `Extracted`. This is the entry
+/// point the `simrank`/`weighted` front-ends use, so the strategy knob
+/// reaches every recursive variant and the serving index build.
+pub fn run_with_strategy<T: Transition>(
+    g: &ClickGraph,
+    config: &SimrankConfig,
+    transition: &T,
+) -> EngineRun {
+    match config.sharding {
+        ShardStrategy::Off => run(g, config, transition),
+        ShardStrategy::Components => {
+            let sharding = simrankpp_graph::Sharding::from_components(g);
+            sharded::run_sharded(g, config, transition, &sharding)
+        }
+        ShardStrategy::Extracted(k) => {
+            let sharding = simrankpp_partition::extraction_sharding(g, k);
+            sharded::run_sharded(g, config, transition, &sharding)
+        }
     }
 }
 

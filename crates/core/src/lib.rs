@@ -46,7 +46,7 @@ pub mod scores;
 pub mod simrank;
 pub mod weighted;
 
-pub use config::SimrankConfig;
+pub use config::{ShardStrategy, SimrankConfig};
 pub use engine::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
 pub use evidence::{evidence_exponential, evidence_geometric, EvidenceKind};
 pub use method::{Method, MethodKind};

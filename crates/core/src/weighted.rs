@@ -191,7 +191,7 @@ pub fn weighted_simrank_with_spread(
         kind: config.weight_kind,
         spread,
     };
-    let run = engine::run(g, config, &transition);
+    let run = engine::run_with_strategy(g, config, &transition);
     let (queries, ads) = evidence_multiply(g, &run.queries, &run.ads, evidence);
     WeightedSimrankResult {
         queries,

@@ -17,7 +17,8 @@
 //! * an accumulating [`builder::ClickGraphBuilder`];
 //! * the immutable CSR [`ClickGraph`] with adjacency in both directions;
 //! * string interning for query/ad display names ([`interner::Interner`]);
-//! * connected components, induced subgraphs, degree statistics;
+//! * connected components, induced subgraphs, component [`sharding`],
+//!   degree statistics;
 //! * TSV + serde I/O;
 //! * the paper's worked-example graphs ([`fixtures`]): Figure 3's sample click
 //!   graph and the complete bipartite graphs of Figure 4.
@@ -30,6 +31,7 @@ pub mod graph;
 pub mod ids;
 pub mod interner;
 pub mod io;
+pub mod sharding;
 pub mod stats;
 pub mod subgraph;
 pub mod window;
@@ -39,4 +41,5 @@ pub use edge::{EdgeData, WeightKind};
 pub use graph::ClickGraph;
 pub use ids::{AdId, NodeRef, QueryId};
 pub use interner::Interner;
+pub use sharding::{Shard, Sharding};
 pub use stats::{DegreeHistogram, GraphStats};

@@ -97,7 +97,12 @@ pub fn extract_subgraphs(g: &ClickGraph, config: &ExtractConfig) -> Vec<Extracte
         for &u in &sweep.set {
             allowed[u] = false;
         }
-        let nodes: Vec<NodeRef> = sweep.set.iter().map(|&u| view.node_ref(u)).collect();
+        // Sort out of sweep (PPR-rank) order into ascending parent-id order
+        // so the subgraph's id remap is monotone per side — the property the
+        // sharded engine's sorted stitch relies on (and components get by
+        // construction).
+        let mut nodes: Vec<NodeRef> = sweep.set.iter().map(|&u| view.node_ref(u)).collect();
+        nodes.sort_unstable();
         let (graph, mapping) = induced_subgraph(g, &nodes);
         out.push(ExtractedSubgraph {
             graph,

@@ -1,0 +1,167 @@
+//! Extraction-based sharding: carving the giant component into score blocks.
+//!
+//! Component sharding ([`Sharding::from_components`]) is exact but leaves the
+//! §9.2 giant component as one monolithic shard. This module carves further:
+//! ACL-extracted low-conductance blocks ([`extract_subgraphs`]) become shards
+//! of their own, and every node the extraction did not claim falls back into
+//! a remainder shard per original connected component. The result is an
+//! overlap-free cover of all nodes.
+//!
+//! **This decomposition is approximate.** Edges that cross an extraction cut
+//! are dropped, so scores of pairs straddling a cut are lost and scores near
+//! a cut shrink (SimRank scores are monotone in the edge set from `s⁰ = I`).
+//! With well-separated blocks (the regime §9.2 assumes) the error is
+//! confined to the low-conductance boundary. It is an opt-in trade
+//! (`ShardStrategy::Extracted` in the core config); the differential
+//! equivalence guarantees apply only to component sharding.
+
+use crate::extract::{extract_subgraphs, ExtractConfig};
+use simrankpp_graph::components::connected_components;
+use simrankpp_graph::sharding::{Shard, Sharding};
+use simrankpp_graph::subgraph::induced_subgraph;
+use simrankpp_graph::{AdId, ClickGraph, NodeRef, QueryId};
+
+/// Carves `g` into up to `k` ACL-extracted blocks plus per-component
+/// remainder shards, with [`ExtractConfig::default`] push parameters.
+pub fn extraction_sharding(g: &ClickGraph, k: usize) -> Sharding {
+    let config = ExtractConfig {
+        n_subgraphs: k,
+        ..ExtractConfig::default()
+    };
+    extraction_sharding_with(g, &config)
+}
+
+/// As [`extraction_sharding`] with explicit extraction parameters.
+pub fn extraction_sharding_with(g: &ClickGraph, config: &ExtractConfig) -> Sharding {
+    let mut claimed_q = vec![false; g.n_queries()];
+    let mut claimed_a = vec![false; g.n_ads()];
+    let mut shards = Vec::new();
+
+    for extracted in extract_subgraphs(g, config) {
+        for &q in &extracted.mapping.queries {
+            claimed_q[q.index()] = true;
+        }
+        for &a in &extracted.mapping.ads {
+            claimed_a[a.index()] = true;
+        }
+        if extracted.graph.n_queries() >= 2 || extracted.graph.n_ads() >= 2 {
+            shards.push(Shard {
+                graph: extracted.graph,
+                mapping: extracted.mapping,
+                component: None,
+            });
+        }
+    }
+
+    // Remainder: group unclaimed nodes by their original component so
+    // satellites stay separate shards and the giant component's leftover
+    // becomes one block.
+    let components = connected_components(g);
+    let mut leftover: Vec<Vec<NodeRef>> = vec![Vec::new(); components.count];
+    for (i, &l) in components.query_label.iter().enumerate() {
+        if !claimed_q[i] {
+            leftover[l as usize].push(NodeRef::Query(QueryId(i as u32)));
+        }
+    }
+    for (i, &l) in components.ad_label.iter().enumerate() {
+        if !claimed_a[i] {
+            leftover[l as usize].push(NodeRef::Ad(AdId(i as u32)));
+        }
+    }
+    for (id, nodes) in leftover.into_iter().enumerate() {
+        let queries = nodes
+            .iter()
+            .filter(|n| matches!(n, NodeRef::Query(_)))
+            .count();
+        let ads = nodes.len() - queries;
+        if queries < 2 && ads < 2 {
+            continue; // cannot hold a same-side pair
+        }
+        let (graph, mapping) = induced_subgraph(g, &nodes);
+        shards.push(Shard {
+            graph,
+            mapping,
+            component: Some(id as u32),
+        });
+    }
+
+    Sharding::from_shards(g, shards, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+
+    /// `k` K_{m,m} blocks chained by single bridge edges (one component).
+    fn blocks(k: usize, m: usize) -> ClickGraph {
+        let mut b = ClickGraphBuilder::new();
+        for block in 0..k {
+            let qo = (block * m) as u32;
+            let ao = (block * m) as u32;
+            for q in 0..m as u32 {
+                for a in 0..m as u32 {
+                    b.add_edge(QueryId(qo + q), AdId(ao + a), EdgeData::from_clicks(1));
+                }
+            }
+            if block + 1 < k {
+                b.add_edge(QueryId(qo), AdId(ao + m as u32), EdgeData::from_clicks(1));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extraction_sharding_covers_all_pairable_nodes_disjointly() {
+        let g = blocks(4, 4);
+        let s = extraction_sharding(&g, 3);
+        assert!(!s.exact);
+        assert!(s.n_shards() >= 2, "got {} shards", s.n_shards());
+        s.validate_disjoint().unwrap();
+        // Every node of this graph sits in some shard (no trivial leftovers
+        // in a chained-blocks graph).
+        let covered_q: usize = s.shards.iter().map(|sh| sh.graph.n_queries()).sum();
+        let covered_a: usize = s.shards.iter().map(|sh| sh.graph.n_ads()).sum();
+        assert_eq!(covered_q, g.n_queries());
+        assert_eq!(covered_a, g.n_ads());
+    }
+
+    #[test]
+    fn extraction_shard_remaps_are_monotone() {
+        // Failing-before regression: ACL blocks used to inherit the sweep's
+        // PPR-rank node order, so their id remaps were not monotone and the
+        // engine's sorted stitch received out-of-order pair lists.
+        let g = blocks(4, 4);
+        let s = extraction_sharding(&g, 3);
+        for shard in &s.shards {
+            assert!(shard.mapping.queries.windows(2).all(|w| w[0] < w[1]));
+            assert!(shard.mapping.ads.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn extraction_sharding_orders_largest_first() {
+        let g = blocks(3, 4);
+        let s = extraction_sharding(&g, 2);
+        for w in s.shards.windows(2) {
+            assert!(w[0].n_nodes() >= w[1].n_nodes());
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_shards() {
+        let g = ClickGraphBuilder::new().build();
+        let s = extraction_sharding(&g, 5);
+        assert_eq!(s.n_shards(), 0);
+    }
+
+    #[test]
+    fn zero_extractions_degrade_to_component_remainders() {
+        // With k = 0 nothing is claimed; every component becomes a remainder
+        // shard — structurally identical to component sharding.
+        let g = blocks(2, 3);
+        let s = extraction_sharding(&g, 0);
+        assert_eq!(s.n_shards(), 1, "one connected component");
+        assert_eq!(s.shards[0].graph.n_edges(), g.n_edges());
+    }
+}

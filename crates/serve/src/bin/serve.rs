@@ -1,18 +1,22 @@
 //! Build, inspect, and serve rewrite indexes from the command line.
 //!
 //! ```text
-//! serve build <graph.tsv> <out.idx> [method]   offline: TSV graph → snapshot
-//! serve build --fixture fig3 <out.idx> [method]   (the paper's Figure 3 graph)
+//! serve build <graph.tsv> <out.idx> [method] [shard]   offline: TSV graph → snapshot
+//! serve build --fixture fig3 <out.idx> [method] [shard]   (the paper's Figure 3 graph)
 //! serve run <index.idx>                        online: line protocol on stdin/stdout
-//! serve run --graph <graph.tsv> [method]       build in memory, then serve
+//! serve run --graph <graph.tsv> [method] [shard]   build in memory, then serve
 //! serve info <index.idx>                       print snapshot header + stats
 //! ```
 //!
 //! `method` is one of `naive | pearson | simrank | evidence | weighted`
-//! (default `weighted`, the paper's best). Diagnostics go to stderr; stdout
+//! (default `weighted`, the paper's best). `shard` selects the engine
+//! decomposition for the recursive methods: `components` (default; exact —
+//! one engine run per click-graph component, so the index is identical to a
+//! monolithic build), `off`, or `extracted:K` (approximate ACL carving of
+//! the giant component into K blocks). Diagnostics go to stderr; stdout
 //! carries only the line protocol, so `serve run` pipes cleanly.
 
-use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
+use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, ShardStrategy, SimrankConfig};
 use simrankpp_graph::fixtures::figure3_graph;
 use simrankpp_graph::{io::read_tsv, ClickGraph, WeightKind};
 use simrankpp_serve::{serve_lines, RewriteIndex};
@@ -22,11 +26,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  serve build <graph.tsv>|--fixture fig3 <out.idx> [method]
+  serve build <graph.tsv>|--fixture fig3 <out.idx> [method] [shard]
   serve run <index.idx>
-  serve run --graph <graph.tsv> [method]
+  serve run --graph <graph.tsv> [method] [shard]
   serve info <index.idx>
-method: naive | pearson | simrank | evidence | weighted (default weighted)";
+method: naive | pearson | simrank | evidence | weighted (default weighted)
+shard:  components | off | extracted:K (default components; exact)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,12 +75,25 @@ fn load_graph(source: &str, fixture: bool) -> Result<ClickGraph, String> {
     read_tsv(BufReader::new(file)).map_err(|e| format!("cannot parse {source}: {e}"))
 }
 
-fn build_index(graph: &ClickGraph, kind: MethodKind) -> RewriteIndex {
+fn shard_strategy(name: &str) -> Result<ShardStrategy, String> {
+    Ok(match name {
+        "off" => ShardStrategy::Off,
+        "components" => ShardStrategy::Components,
+        other => match other.strip_prefix("extracted:").map(str::parse::<usize>) {
+            Some(Ok(k)) if k > 0 => ShardStrategy::Extracted(k),
+            _ => return Err(format!("unknown shard strategy {other:?}\n{USAGE}")),
+        },
+    })
+}
+
+fn build_index(graph: &ClickGraph, kind: MethodKind, sharding: ShardStrategy) -> RewriteIndex {
     let t0 = Instant::now();
-    let config = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+    let config = SimrankConfig::default()
+        .with_weight_kind(WeightKind::Clicks)
+        .with_sharding(sharding);
     let method = Method::compute(kind, graph, &config);
     eprintln!(
-        "computed {} over {} queries / {} ads in {:.1?}",
+        "computed {} over {} queries / {} ads ({sharding:?} sharding) in {:.1?}",
         kind.name(),
         graph.n_queries(),
         graph.n_ads(),
@@ -104,8 +122,9 @@ fn build(args: &[String]) -> Result<(), String> {
     };
     let out = rest.first().ok_or(USAGE.to_owned())?;
     let kind = method_kind(rest.get(1).map(String::as_str).unwrap_or("weighted"))?;
+    let sharding = shard_strategy(rest.get(2).map(String::as_str).unwrap_or("components"))?;
 
-    let index = build_index(&graph, kind);
+    let index = build_index(&graph, kind, sharding);
     index
         .save(out)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -118,7 +137,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("--graph") => {
             let path = args.get(1).ok_or(USAGE.to_owned())?;
             let kind = method_kind(args.get(2).map(String::as_str).unwrap_or("weighted"))?;
-            build_index(&load_graph(path, false)?, kind)
+            let sharding = shard_strategy(args.get(3).map(String::as_str).unwrap_or("components"))?;
+            build_index(&load_graph(path, false)?, kind, sharding)
         }
         Some(path) => {
             let index = RewriteIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;

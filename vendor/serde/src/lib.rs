@@ -70,6 +70,24 @@ pub fn de_field<T: Deserialize>(v: &Value, field: &str) -> Result<T, Error> {
     }
 }
 
+/// As [`de_field`], but a missing key yields `T::default()` instead of
+/// attempting a null deserialize — backs `#[serde(default)]`, so structs can
+/// grow fields without breaking previously persisted JSON.
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, field: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(m) => match m.get(field) {
+            Some(x) => {
+                T::deserialize_value(x).map_err(|e| Error::custom(format!("field `{field}`: {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(Error::custom(format!(
+            "expected object for struct, found {}",
+            other.kind()
+        ))),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

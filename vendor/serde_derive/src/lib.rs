@@ -6,7 +6,9 @@
 //! by this workspace:
 //!
 //! * structs with named fields (`#[serde(skip)]` honored: skipped on
-//!   serialize, `Default::default()` on deserialize);
+//!   serialize, `Default::default()` on deserialize; `#[serde(default)]`
+//!   honored: serialized normally, `Default::default()` when the key is
+//!   missing on deserialize);
 //! * tuple structs of any arity (arity 1 serializes as its inner value,
 //!   which also covers `#[serde(transparent)]`; arity ≥ 2 as an array);
 //! * enums with unit variants (serialized as the variant-name string) and
@@ -20,6 +22,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -108,17 +111,20 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
 }
 
 /// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
-/// Returns whether any scanned attribute was `#[serde(...)]` containing the
-/// ident `needle` (callers pass e.g. "skip"; pass "" to just skip).
-fn skip_attrs_scanning(tokens: &[TokenTree], i: &mut usize, needle: &str) -> bool {
-    let mut found = false;
+/// Returns, per needle, whether any scanned attribute was `#[serde(...)]`
+/// containing that ident (callers pass e.g. `["skip", "default"]`; pass `[]`
+/// to just skip).
+fn skip_attrs_scanning(tokens: &[TokenTree], i: &mut usize, needles: &[&str]) -> Vec<bool> {
+    let mut found = vec![false; needles.len()];
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1;
                 if let Some(TokenTree::Group(g)) = tokens.get(*i) {
-                    if !needle.is_empty() && attr_is_serde_with(g.stream(), needle) {
-                        found = true;
+                    for (f, needle) in found.iter_mut().zip(needles) {
+                        if attr_is_serde_with(g.stream(), needle) {
+                            *f = true;
+                        }
                     }
                     *i += 1;
                 } else {
@@ -138,7 +144,7 @@ fn skip_attrs_scanning(tokens: &[TokenTree], i: &mut usize, needle: &str) -> boo
 }
 
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
-    skip_attrs_scanning(tokens, i, "");
+    skip_attrs_scanning(tokens, i, &[]);
 }
 
 /// Is this attribute body (the `[...]` content) `serde(...)` mentioning `needle`?
@@ -162,7 +168,8 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        let skip = skip_attrs_scanning(&tokens, &mut i, "skip");
+        let flags = skip_attrs_scanning(&tokens, &mut i, &["skip", "default"]);
+        let (skip, default) = (flags[0], flags[1]);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -193,7 +200,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     Ok(fields)
 }
@@ -334,6 +345,11 @@ fn gen_deserialize(shape: &Shape) -> String {
                     inits.push_str(&format!(
                         "{}: ::std::default::Default::default(),\n",
                         f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::de_field_or_default(v, {n:?})?,\n",
+                        n = f.name
                     ));
                 } else {
                     inits.push_str(&format!("{n}: ::serde::de_field(v, {n:?})?,\n", n = f.name));
