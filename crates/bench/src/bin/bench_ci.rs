@@ -1,0 +1,548 @@
+//! Criterion-free wall-clock bench harness for CI.
+//!
+//! The criterion benches under `benches/` are thorough but slow; CI needs a
+//! smoke-level signal that still catches real regressions. `bench_ci`
+//! re-measures the headline series of `BENCH_engine.json` and
+//! `BENCH_serve.json` with plain `Instant` timings (median of a few reps),
+//! emits both files in the committed schema, and — with `--check` —
+//! compares the fresh engine numbers against the committed baseline:
+//!
+//! * any gated engine series more than `--tolerance` percent (default 25 —
+//!   deliberately tolerant, CI runners are noisy) slower than the baseline
+//!   fails the run;
+//! * the incremental series must show a single-dirty-component update at
+//!   least 5× faster than a full recompute on the multi-component
+//!   10k-query federated graph — the number the incremental engine exists
+//!   to deliver.
+//!
+//! ```text
+//! bench_ci [--quick] [--out-dir DIR] [--check] [--baseline-dir DIR]
+//!          [--tolerance PCT]
+//! ```
+//!
+//! `--quick` lowers repetitions (graph shapes stay identical, so keys stay
+//! comparable across modes). To refresh the committed baseline after an
+//! intentional perf change: `bench_ci --out-dir .` at the repo root and
+//! commit the two JSON files.
+
+use simrankpp_core::engine::{self, reference, UniformTransition, WeightedTransition};
+use simrankpp_core::weighted::SpreadMode;
+use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, ShardStrategy, SimrankConfig};
+use simrankpp_graph::{
+    AdId, ClickGraph, ClickGraphBuilder, EdgeData, GraphDelta, QueryId, WeightKind,
+};
+use simrankpp_serve::RewriteIndex;
+use simrankpp_synth::generator::{generate, GeneratorConfig};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out_dir: String,
+    check: bool,
+    baseline_dir: String,
+    tolerance_pct: f64,
+}
+
+/// Engine series whose absolute time is gated against the committed
+/// baseline. Accumulation and sharded-stitch throughput are the two hot
+/// paths every workload funnels through.
+const GATED_ENGINE_KEYS: [&str; 3] = [
+    "engine_10k/flat_uniform",
+    "engine_10k/flat_weighted",
+    "engine_10k_sharded/components/federated8",
+];
+
+/// Floor on the incremental-vs-full speedup (see module docs).
+const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
+
+/// Floor on flat-vs-hashmap accumulation speedup. Unlike the absolute-ms
+/// gate (whose baseline may have been measured on different hardware), this
+/// ratio is computed on the runner itself, so it catches accumulation-path
+/// regressions machine-independently. Historically ~1.7–1.8×.
+const MIN_FLAT_VS_HASHMAP: f64 = 1.2;
+
+fn main() {
+    let mut opts = Options {
+        quick: false,
+        out_dir: ".".to_owned(),
+        check: false,
+        baseline_dir: ".".to_owned(),
+        tolerance_pct: 25.0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> String {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{} needs a value", args[i]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--quick" => {
+                opts.quick = true;
+                i += 1;
+            }
+            "--check" => {
+                opts.check = true;
+                i += 1;
+            }
+            "--out-dir" => {
+                opts.out_dir = value(i);
+                i += 2;
+            }
+            "--baseline-dir" => {
+                opts.baseline_dir = value(i);
+                i += 2;
+            }
+            "--tolerance" => {
+                opts.tolerance_pct = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance needs a number");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: bench_ci [--quick] [--out-dir DIR] [--check] \
+                     [--baseline-dir DIR] [--tolerance PCT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let reps = if opts.quick { 3 } else { 5 };
+    eprintln!(
+        "bench_ci: {} mode, {reps} reps per series",
+        if opts.quick { "quick" } else { "full" }
+    );
+
+    let (engine_results, engine_speedups) = engine_series(&opts, reps);
+    let serve_results = serve_series(reps);
+
+    let engine_json = render_engine_json(&opts, &engine_results, &engine_speedups);
+    let serve_json = render_serve_json(&opts, &serve_results);
+    std::fs::create_dir_all(&opts.out_dir).expect("cannot create --out-dir");
+    let engine_path = format!("{}/BENCH_engine.json", opts.out_dir);
+    let serve_path = format!("{}/BENCH_serve.json", opts.out_dir);
+    std::fs::write(&engine_path, &engine_json).expect("cannot write BENCH_engine.json");
+    std::fs::write(&serve_path, &serve_json).expect("cannot write BENCH_serve.json");
+    eprintln!("wrote {engine_path} and {serve_path}");
+
+    if opts.check {
+        let failures = check(&opts, &engine_results, &engine_speedups);
+        if !failures.is_empty() {
+            eprintln!("bench-check FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("bench-check passed");
+    }
+}
+
+/// Median wall-clock milliseconds of `reps` runs (after one warmup).
+fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warmup
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn ten_k_graph() -> ClickGraph {
+    let mut gen = GeneratorConfig::small();
+    gen.n_queries = 10_000;
+    gen.n_ads = 7_000;
+    generate(&gen).graph
+}
+
+/// 10k queries as a disjoint union of `k` independently generated worlds —
+/// the multi-market regime where component structure (and incrementality)
+/// is real. Mirrors `benches/bench_engine.rs`.
+fn federated_graph(k: usize) -> ClickGraph {
+    let per_q = 10_000 / k;
+    let per_a = 7_000 / k;
+    let mut b = ClickGraphBuilder::new();
+    b.reserve_queries((per_q * k) as u32);
+    b.reserve_ads((per_a * k) as u32);
+    for world in 0..k {
+        let mut gen = GeneratorConfig::small();
+        gen.n_queries = per_q;
+        gen.n_ads = per_a;
+        gen.seed = 0xFEDE_0000 + world as u64;
+        let d = generate(&gen);
+        let (qo, ao) = ((world * per_q) as u32, (world * per_a) as u32);
+        for (q, a, e) in d.graph.edges() {
+            b.add_edge(QueryId(qo + q.0), AdId(ao + a.0), *e);
+        }
+    }
+    b.build()
+}
+
+/// A delta confined to world 0 of a `k`-world federated graph: the
+/// single-market update stream every other market should not pay for.
+fn world0_delta(k: usize) -> GraphDelta {
+    let (per_q, per_a) = ((10_000 / k) as u32, (7_000 / k) as u32);
+    let mut d = GraphDelta::new();
+    for i in 0..8u32 {
+        d.upsert(
+            QueryId((i * 157) % per_q),
+            AdId((i * 211) % per_a),
+            EdgeData::from_clicks(3),
+        );
+    }
+    d
+}
+
+fn engine_series(opts: &Options, reps: usize) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+    let mut r = BTreeMap::new();
+    let cfg = SimrankConfig::default()
+        .with_iterations(5)
+        .with_prune_threshold(1e-4);
+    let weighted = WeightedTransition {
+        kind: WeightKind::ExpectedClickRate,
+        spread: SpreadMode::Exponential,
+    };
+
+    eprintln!("engine: accumulation series (10k standard graph)");
+    let standard = ten_k_graph();
+    r.insert(
+        "engine_10k/flat_uniform".to_owned(),
+        median_ms(reps, || engine::run(&standard, &cfg, &UniformTransition)),
+    );
+    r.insert(
+        "engine_10k/flat_weighted".to_owned(),
+        median_ms(reps, || engine::run(&standard, &cfg, &weighted)),
+    );
+    // The hash-map reference runs in quick mode too: flat-vs-hashmap is the
+    // machine-*relative* gate, immune to the committed baseline having been
+    // measured on different hardware.
+    r.insert(
+        "engine_10k/hashmap_uniform".to_owned(),
+        median_ms(reps, || {
+            reference::run_hashmap(&standard, &cfg, &UniformTransition)
+        }),
+    );
+    if !opts.quick {
+        r.insert(
+            "engine_10k/hashmap_weighted".to_owned(),
+            median_ms(reps, || reference::run_hashmap(&standard, &cfg, &weighted)),
+        );
+    }
+    drop(standard);
+
+    eprintln!("engine: sharded + incremental series (10k federated8 graph)");
+    let federated = federated_graph(8);
+    let cfg_sharded = cfg.with_sharding(ShardStrategy::Components);
+    r.insert(
+        "engine_10k_sharded/monolithic/federated8".to_owned(),
+        median_ms(reps, || engine::run(&federated, &cfg, &UniformTransition)),
+    );
+    r.insert(
+        "engine_10k_sharded/components/federated8".to_owned(),
+        median_ms(reps, || {
+            engine::run_with_strategy(&federated, &cfg_sharded, &UniformTransition)
+        }),
+    );
+
+    drop(federated);
+
+    // Incremental: previous generation = full run over the pre-delta graph;
+    // the delta touches world 0 of a 16-world federation only (a finer
+    // decomposition than the sharded series' 8 worlds, so the dirty slice —
+    // and therefore the incremental win — is what production's
+    // one-market-updates-at-a-time stream looks like).
+    let federated16 = federated_graph(16);
+    let prev = engine::run_with_strategy(&federated16, &cfg_sharded, &UniformTransition);
+    let delta = world0_delta(16);
+    let g1 = delta.apply(&federated16);
+    let dirty = delta.dirty_components(&g1);
+    eprintln!(
+        "engine: incremental series ({} dirty / {} clean components)",
+        dirty.n_dirty(),
+        dirty.n_clean()
+    );
+    r.insert(
+        "engine_10k_incremental/full_recompute/federated16".to_owned(),
+        median_ms(reps, || {
+            engine::run_with_strategy(&g1, &cfg_sharded, &UniformTransition)
+        }),
+    );
+    r.insert(
+        "engine_10k_incremental/single_component_update/federated16".to_owned(),
+        median_ms(reps, || {
+            engine::run_incremental(
+                &g1,
+                &cfg,
+                &UniformTransition,
+                &prev.queries,
+                &prev.ads,
+                &dirty,
+            )
+        }),
+    );
+
+    let mut speedups = BTreeMap::new();
+    let ratio = |num: &str, den: &str, r: &BTreeMap<String, f64>| r[num] / r[den];
+    speedups.insert(
+        "flat_vs_hashmap_uniform".to_owned(),
+        ratio("engine_10k/hashmap_uniform", "engine_10k/flat_uniform", &r),
+    );
+    if !opts.quick {
+        speedups.insert(
+            "flat_vs_hashmap_weighted".to_owned(),
+            ratio(
+                "engine_10k/hashmap_weighted",
+                "engine_10k/flat_weighted",
+                &r,
+            ),
+        );
+    }
+    speedups.insert(
+        "sharded_vs_monolithic_federated8".to_owned(),
+        ratio(
+            "engine_10k_sharded/monolithic/federated8",
+            "engine_10k_sharded/components/federated8",
+            &r,
+        ),
+    );
+    speedups.insert(
+        "incremental_single_component_vs_full".to_owned(),
+        ratio(
+            "engine_10k_incremental/full_recompute/federated16",
+            "engine_10k_incremental/single_component_update/federated16",
+            &r,
+        ),
+    );
+    (r, speedups)
+}
+
+fn serve_series(reps: usize) -> BTreeMap<String, f64> {
+    let mut r = BTreeMap::new();
+    let cfg = SimrankConfig::default()
+        .with_iterations(5)
+        .with_prune_threshold(1e-4);
+
+    eprintln!("serve: lookup + offline series (10k standard graph)");
+    let g = ten_k_graph();
+    let method = Method::compute(MethodKind::WeightedSimrank, &g, &cfg);
+    let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+    r.insert(
+        "serve_10k_offline/index_build_t1_ms".to_owned(),
+        median_ms(reps, || RewriteIndex::build(&rewriter, None, 1)),
+    );
+    let index = RewriteIndex::build(&rewriter, None, 1);
+    let n = index.n_queries() as u32;
+    r.insert(
+        "serve_10k/lookup_by_id_x1000_ms".to_owned(),
+        median_ms(reps, || {
+            let mut total = 0usize;
+            for i in 0..1000u32 {
+                total += index.rewrites_of(QueryId((i * 7919) % n)).len();
+            }
+            total
+        }),
+    );
+    let names: Vec<&str> = (0..1000u32)
+        .filter_map(|i| index.query_name(QueryId((i * 7919) % n)))
+        .collect();
+    r.insert(
+        "serve_10k/lookup_by_name_x1000_ms".to_owned(),
+        median_ms(reps, || {
+            let mut total = 0usize;
+            for name in &names {
+                total += index.lookup(name).map_or(0, |s| s.len());
+            }
+            total
+        }),
+    );
+    r.insert(
+        "serve_10k_offline/snapshot_roundtrip_ms".to_owned(),
+        median_ms(reps, || {
+            let mut buf = Vec::new();
+            index.write_snapshot(&mut buf).expect("snapshot write");
+            RewriteIndex::read_snapshot(buf.as_slice()).expect("snapshot read")
+        }),
+    );
+    drop(index);
+    drop(rewriter);
+    drop(g);
+
+    eprintln!("serve: incremental rebuild series (10k federated8 graph)");
+    let federated = federated_graph(8);
+    let cfg_sharded = cfg.with_sharding(ShardStrategy::Components);
+    let build_full = |g: &ClickGraph| {
+        let method = Method::compute(MethodKind::WeightedSimrank, g, &cfg_sharded);
+        let rewriter = Rewriter::new(g, method, RewriterConfig::default());
+        RewriteIndex::build(&rewriter, None, 1)
+    };
+    let old_index = build_full(&federated);
+    let delta = world0_delta(8);
+    let g1 = delta.apply(&federated);
+    let dirty = delta.dirty_components(&g1);
+    r.insert(
+        "serve_10k_incremental/full_rebuild_ms".to_owned(),
+        median_ms(reps, || build_full(&g1)),
+    );
+    r.insert(
+        "serve_10k_incremental/incremental_update_ms".to_owned(),
+        median_ms(reps, || {
+            old_index
+                .rebuild_incremental(&g1, &dirty, &cfg_sharded, &RewriterConfig::default(), None)
+                .expect("incremental rebuild")
+        }),
+    );
+    r
+}
+
+fn check(
+    opts: &Options,
+    engine_results: &BTreeMap<String, f64>,
+    engine_speedups: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    let inc = engine_speedups["incremental_single_component_vs_full"];
+    if inc < MIN_INCREMENTAL_SPEEDUP {
+        failures.push(format!(
+            "incremental single-component update is only {inc:.2}x faster than full \
+             recompute (floor: {MIN_INCREMENTAL_SPEEDUP}x)"
+        ));
+    }
+    let flat = engine_speedups["flat_vs_hashmap_uniform"];
+    if flat < MIN_FLAT_VS_HASHMAP {
+        failures.push(format!(
+            "flat accumulation is only {flat:.2}x faster than the hash-map reference \
+             (floor: {MIN_FLAT_VS_HASHMAP}x, machine-relative)"
+        ));
+    }
+
+    let baseline_path = format!("{}/BENCH_engine.json", opts.baseline_dir);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("cannot read baseline {baseline_path}: {e}"));
+            return failures;
+        }
+    };
+    let baseline: serde_json::Value = match serde_json::from_str(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            failures.push(format!("cannot parse baseline {baseline_path}: {e:?}"));
+            return failures;
+        }
+    };
+    let factor = 1.0 + opts.tolerance_pct / 100.0;
+    for key in GATED_ENGINE_KEYS {
+        let fresh = engine_results[key];
+        let Some(base) = baseline
+            .get("results_ms")
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_f64())
+        else {
+            eprintln!("note: baseline has no {key:?}; skipping (refresh the baseline)");
+            continue;
+        };
+        if fresh > base * factor {
+            failures.push(format!(
+                "{key}: {fresh:.1} ms vs baseline {base:.1} ms — regressed beyond \
+                 {:.0}% tolerance",
+                opts.tolerance_pct
+            ));
+        } else {
+            eprintln!(
+                "gate ok: {key}: {fresh:.1} ms (baseline {base:.1} ms, limit {:.1} ms)",
+                base * factor
+            );
+        }
+    }
+    failures
+}
+
+/// `(year, month, day)` of a unix timestamp (Howard Hinnant's civil_from_days).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn json_map(map: &BTreeMap<String, f64>, indent: &str) -> String {
+    map.iter()
+        .map(|(k, v)| format!("{indent}\"{k}\": {v:.4}"))
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn environment_json(opts: &Options) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "  \"environment\": {{\n    \"date\": \"{}\",\n    \"cpu_cores\": {cores},\n    \
+         \"profile\": \"release\",\n    \"harness\": \"bench_ci ({} mode, median wall-clock)\"\n  }}",
+        utc_date(),
+        if opts.quick { "quick" } else { "full" }
+    )
+}
+
+fn render_engine_json(
+    opts: &Options,
+    results: &BTreeMap<String, f64>,
+    speedups: &BTreeMap<String, f64>,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"bench_ci (engine)\",\n  \"description\": \"Wall-clock medians for \
+         the engine's headline series on 10k-query synth graphs: flat vs hash-map accumulation \
+         (standard graph), component-sharded vs monolithic propagation (federated8 = disjoint \
+         union of 8 worlds) and incremental single-dirty-component update vs full recompute \
+         (federated16). 5 iterations, prune_threshold 1e-4; incremental deltas touch world 0 \
+         only.\",\n\
+         {},\n  \"results_ms\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }},\n  \"gate\": {{\n    \
+         \"keys\": [\"engine_10k/flat_uniform\", \"engine_10k/flat_weighted\", \
+         \"engine_10k_sharded/components/federated8\"],\n    \"tolerance_pct\": {},\n    \
+         \"min_incremental_speedup\": {MIN_INCREMENTAL_SPEEDUP},\n    \
+         \"min_flat_vs_hashmap_uniform\": {MIN_FLAT_VS_HASHMAP}\n  }}\n}}\n",
+        environment_json(opts),
+        json_map(results, "    "),
+        json_map(speedups, "    "),
+        opts.tolerance_pct,
+    )
+}
+
+fn render_serve_json(opts: &Options, results: &BTreeMap<String, f64>) -> String {
+    let speedup = results["serve_10k_incremental/full_rebuild_ms"]
+        / results["serve_10k_incremental/incremental_update_ms"];
+    format!(
+        "{{\n  \"bench\": \"bench_ci (serve)\",\n  \"description\": \"Wall-clock medians for \
+         the serving layer on 10k-query synth graphs: precomputed-index lookups, offline \
+         t1 index build and snapshot round-trip (standard graph), and incremental index \
+         rebuild vs full rebuild after a world-0 delta (federated8). Weighted SimRank, 5 \
+         iterations, prune_threshold 1e-4.\",\n{},\n  \"results_ms\": {{\n{}\n  }},\n  \
+         \"derived\": {{\n    \"speedup_incremental_vs_full_rebuild\": {speedup:.2}\n  }}\n}}\n",
+        environment_json(opts),
+        json_map(results, "    "),
+    )
+}

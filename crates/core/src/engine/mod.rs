@@ -34,15 +34,22 @@
 //!   global ids — exact for component sharding. [`run_with_strategy`]
 //!   dispatches on [`crate::config::ShardStrategy`].
 //!
+//! * [`incremental::run_incremental`] extends the same block-diagonal
+//!   argument through time: after a [`simrankpp_graph::GraphDelta`], only
+//!   the dirty components are recomputed and every clean component's block
+//!   is carried over verbatim from the previous score matrices.
+//!
 //! [`reference::run_hashmap`] keeps the historical hash-map accumulation path
 //! alive for cross-checking and the `bench_engine` comparison.
 
 pub mod accum;
+pub mod incremental;
 pub mod parallel;
 pub mod reference;
 pub mod sharded;
 pub mod transition;
 
+pub use incremental::{run_incremental, IncrementalRun};
 pub use sharded::run_sharded;
 pub use transition::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
 

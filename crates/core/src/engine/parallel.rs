@@ -48,9 +48,67 @@ where
     })
 }
 
+/// Runs `work(i)` for every `i in 0..n_items` with `workers` scoped threads
+/// pulling indices off an atomic queue, returning the results **in index
+/// order** — the greedy work-stealing schedule the sharded engine uses
+/// (items sorted largest-first amortize best), shared with the serving
+/// layer's incremental rebuild. Serial when `workers <= 1` or there is at
+/// most one item. Deterministic output for deterministic `work` regardless
+/// of the worker count.
+pub fn run_indexed<T, F>(n_items: usize, workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n_items <= 1 {
+        return (0..n_items).map(work).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    let finished: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n_items))
+            .map(|_| {
+                let next = &next;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        out.push((i, work(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("queue worker panicked"))
+            .collect()
+    });
+    for (i, v) in finished.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index was claimed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_indexed_orders_results_for_any_worker_count() {
+        for workers in [1, 2, 7] {
+            let out = run_indexed(23, workers, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
 
     #[test]
     fn serial_and_parallel_cover_the_same_items() {

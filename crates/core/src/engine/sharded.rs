@@ -46,7 +46,6 @@ use crate::config::SimrankConfig;
 use crate::scores::ScoreMatrix;
 use simrankpp_graph::{ClickGraph, Sharding};
 use simrankpp_util::PairKey;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs the unified kernel per shard and stitches the blocks back together.
 ///
@@ -89,9 +88,38 @@ pub fn run_sharded<T: Transition>(
     // untouched, so the stitched matrix is bit-identical to the per-shard
     // results, and the freeze into `ScoreMatrix` happens exactly once, on
     // the stitched whole.
+    let (q_pieces, a_pieces) = remap_pieces(sharding, &mut runs);
+    let queries = ScoreMatrix::from_sorted_pairs(
+        g.n_queries(),
+        merge_all_disjoint(q_pieces).expect("query-side shards overlap"),
+    );
+    let ads = ScoreMatrix::from_sorted_pairs(
+        g.n_ads(),
+        merge_all_disjoint(a_pieces).expect("ad-side shards overlap"),
+    );
+
+    let (pair_counts, max_deltas, iterations_run, converged) = aggregate_diagnostics(&runs, config);
+
+    EngineRun {
+        queries,
+        ads,
+        pair_counts,
+        max_deltas,
+        iterations_run,
+        converged,
+    }
+}
+
+/// Remaps each shard's raw pair lists to global ids in place (monotone
+/// remaps preserve the key sort) and hands them back as per-shard pieces,
+/// query side and ad side. Shared by the sharded and incremental stitches.
+pub(crate) fn remap_pieces(
+    sharding: &Sharding,
+    runs: &mut [RawRun],
+) -> (Vec<PairVec>, Vec<PairVec>) {
     let mut q_pieces: Vec<PairVec> = Vec::with_capacity(runs.len());
     let mut a_pieces: Vec<PairVec> = Vec::with_capacity(runs.len());
-    for (shard, run) in sharding.shards.iter().zip(&mut runs) {
+    for (shard, run) in sharding.shards.iter().zip(runs) {
         let qmap = &shard.mapping.queries;
         let mut piece = std::mem::take(&mut run.q_pairs);
         for (k, _) in &mut piece {
@@ -107,16 +135,17 @@ pub fn run_sharded<T: Transition>(
         }
         a_pieces.push(piece);
     }
-    let queries = ScoreMatrix::from_sorted_pairs(
-        g.n_queries(),
-        merge_all_disjoint(q_pieces).expect("query-side shards overlap"),
-    );
-    let ads = ScoreMatrix::from_sorted_pairs(
-        g.n_ads(),
-        merge_all_disjoint(a_pieces).expect("ad-side shards overlap"),
-    );
+    (q_pieces, a_pieces)
+}
 
-    // Aggregate diagnostics across shards.
+/// Aggregates per-shard diagnostics: summed pair counts, max-of-max deltas,
+/// the longest iteration count, and whether every shard converged. Shards
+/// that stopped early are padded with their final stationary counts and a
+/// zero delta.
+pub(crate) fn aggregate_diagnostics(
+    runs: &[RawRun],
+    config: &SimrankConfig,
+) -> (Vec<(usize, usize)>, Vec<f64>, usize, bool) {
     let iterations_run = if config.tolerance > 0.0 {
         runs.iter()
             .map(|r| r.iterations_run)
@@ -131,7 +160,7 @@ pub fn run_sharded<T: Transition>(
         let mut qp = 0usize;
         let mut ap = 0usize;
         let mut delta = 0.0f64;
-        for r in &runs {
+        for r in runs {
             let (q, a) = r
                 .pair_counts
                 .get(i)
@@ -147,61 +176,21 @@ pub fn run_sharded<T: Transition>(
     }
     let converged =
         config.tolerance > 0.0 && config.iterations > 0 && runs.iter().all(|r| r.converged);
-
-    EngineRun {
-        queries,
-        ads,
-        pair_counts,
-        max_deltas,
-        iterations_run,
-        converged,
-    }
+    (pair_counts, max_deltas, iterations_run, converged)
 }
 
 /// Runs the engine over every shard, pulling shard indices off an atomic
 /// queue with `workers` scoped threads; results come back in shard order.
-fn run_all<T: Transition>(
+pub(crate) fn run_all<T: Transition>(
     sharding: &Sharding,
     config: &SimrankConfig,
     transition: &T,
     workers: usize,
 ) -> Vec<RawRun> {
     let shards = &sharding.shards;
-    if workers <= 1 || shards.len() <= 1 {
-        return shards
-            .iter()
-            .map(|s| run_raw(&s.graph, config, transition))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<RawRun>> = (0..shards.len()).map(|_| None).collect();
-    let finished: Vec<Vec<(usize, RawRun)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(shard) = shards.get(i) else { break };
-                        out.push((i, run_raw(&shard.graph, config, transition)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    });
-    for (i, r) in finished.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|r| r.expect("every shard index was claimed"))
-        .collect()
+    super::parallel::run_indexed(shards.len(), workers, |i| {
+        run_raw(&shards[i].graph, config, transition)
+    })
 }
 
 #[cfg(test)]

@@ -47,7 +47,10 @@ pub mod simrank;
 pub mod weighted;
 
 pub use config::{ShardStrategy, SimrankConfig};
-pub use engine::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
+pub use engine::{
+    run_incremental, IncrementalRun, Transition, TransitionFactors, UniformTransition,
+    WeightedTransition,
+};
 pub use evidence::{evidence_exponential, evidence_geometric, EvidenceKind};
 pub use method::{Method, MethodKind};
 pub use rewriter::{Rewrite, Rewriter, RewriterConfig};

@@ -221,6 +221,13 @@ impl ScoreMatrix {
             .unwrap_or(0.0)
     }
 
+    /// The stored off-diagonal pairs in packed-key-sorted order — the
+    /// engine's iterate format. The incremental engine filters this list to
+    /// carry clean-component blocks into the next generation verbatim.
+    pub fn sorted_pairs(&self) -> &[(PairKey, f64)] {
+        &self.pairs
+    }
+
     /// All stored `(a, b, score)` with `a < b`, ascending by `(a, b)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
         self.pairs.iter().map(|&(k, v)| {

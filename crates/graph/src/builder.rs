@@ -34,6 +34,40 @@ impl ClickGraphBuilder {
         b
     }
 
+    /// Thaws an immutable graph back into a builder: same node counts, names
+    /// and edges, ready for further mutation. This is the substrate of
+    /// [`crate::delta::GraphDelta::apply`] — a delta replays on top of the
+    /// thawed builder and refreezes. `build()` on an untouched thaw
+    /// reproduces the graph exactly (CSR order is id-sorted either way).
+    pub fn from_graph(g: &ClickGraph) -> ClickGraphBuilder {
+        let mut b = ClickGraphBuilder::with_capacity(g.n_edges());
+        b.n_queries = g.n_queries() as u32;
+        b.n_ads = g.n_ads() as u32;
+        b.query_names = g.query_interner().cloned();
+        b.ad_names = g.ad_interner().cloned();
+        for (q, a, e) in g.edges() {
+            b.edges.insert((q.0, a.0), *e);
+        }
+        b
+    }
+
+    /// Removes the accumulated edge `(q, α)`, returning whether it existed.
+    /// Node counts never shrink: ids stay dense and stable, the endpoints
+    /// simply become lower-degree (possibly isolated) nodes.
+    pub fn remove_edge(&mut self, q: QueryId, a: AdId) -> bool {
+        self.edges.remove(&(q.0, a.0)).is_some()
+    }
+
+    /// Looks up an interned query name without inserting.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.query_names.as_ref()?.get(name).map(QueryId)
+    }
+
+    /// Looks up an interned ad name without inserting.
+    pub fn ad_id(&self, name: &str) -> Option<AdId> {
+        self.ad_names.as_ref()?.get(name).map(AdId)
+    }
+
     /// Adds (or accumulates onto) the edge `(q, α)` using explicit ids.
     /// Node counts grow to cover the largest id seen.
     pub fn add_edge(&mut self, q: QueryId, a: AdId, data: EdgeData) {

@@ -1,0 +1,625 @@
+//! Incremental click-graph updates.
+//!
+//! The click graph is not static: new (query, ad) clicks arrive continuously
+//! while a production rewriter serves traffic. A [`GraphDelta`] is one batch
+//! of edge mutations — inserts / weight accumulations ([`DeltaOp::Upsert`],
+//! which merges like [`ClickGraphBuilder::add_edge`] does for duplicate
+//! edges) and removals ([`DeltaOp::Remove`]) — applied to an immutable
+//! [`ClickGraph`] to produce the next graph generation.
+//!
+//! The payoff is [`GraphDelta::dirty_components`]: SimRank scores are
+//! block-diagonal over connected components (see [`crate::sharding`]), and a
+//! delta can only change scores inside the components its edge endpoints
+//! touch. `dirty_components` labels the **new** graph's components and marks
+//! the minimal dirty set:
+//!
+//! * an **insert** marks the component now containing both endpoints — if
+//!   the edge bridged two old components, the *merged* component is one
+//!   dirty component and both old blocks are recomputed;
+//! * a **removal** marks the component(s) of both (still existing —
+//!   removal never deletes nodes) endpoints — if the edge was a bridge, the
+//!   component *split* and each half is dirty, which conservatively covers
+//!   every score the split could have changed;
+//! * a component containing **no** delta endpoint keeps its exact node and
+//!   edge set (any edge mutation would have marked its endpoints, and a
+//!   merge into it would require an endpoint inside it), so its score block
+//!   is provably unchanged and can be reused verbatim.
+//!
+//! The engine layer (`simrankpp-core::engine::run_incremental`) recomputes
+//! only the dirty components and stitches the clean blocks from the previous
+//! score matrix; the serving layer refreshes only dirty queries' index rows.
+//!
+//! Deltas travel as TSV ([`read_delta_tsv`] / [`write_delta_tsv`]): one op
+//! per line, `+ \t query \t ad \t impressions \t clicks \t ecr` for upserts
+//! and `- \t query \t ad` for removals, `#` comments and blank lines
+//! skipped. Named ops resolve against a named graph via [`apply_named`],
+//! interning unseen names as fresh dense ids.
+
+use crate::builder::ClickGraphBuilder;
+use crate::components::{connected_components, Components};
+use crate::edge::EdgeData;
+use crate::graph::ClickGraph;
+use crate::ids::{AdId, QueryId};
+use std::io::{self, BufRead, BufWriter, Write};
+
+/// One edge mutation, by dense id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOp {
+    /// Insert the edge, or accumulate onto it if present
+    /// (via [`EdgeData::merge`] — the duplicate-edge semantics of
+    /// [`ClickGraphBuilder::add_edge`]). Ids beyond the current node counts
+    /// grow the graph.
+    Upsert {
+        /// Query endpoint.
+        query: QueryId,
+        /// Ad endpoint.
+        ad: AdId,
+        /// Observation window to merge onto the edge.
+        data: EdgeData,
+    },
+    /// Remove the edge entirely (a no-op if absent). The endpoints remain
+    /// as (possibly isolated) nodes: ids never shift.
+    Remove {
+        /// Query endpoint.
+        query: QueryId,
+        /// Ad endpoint.
+        ad: AdId,
+    },
+}
+
+impl DeltaOp {
+    /// The op's `(query, ad)` endpoints.
+    pub fn endpoints(&self) -> (QueryId, AdId) {
+        match *self {
+            DeltaOp::Upsert { query, ad, .. } | DeltaOp::Remove { query, ad } => (query, ad),
+        }
+    }
+}
+
+/// An ordered batch of edge mutations against one [`ClickGraph`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an upsert (insert-or-accumulate) op.
+    pub fn upsert(&mut self, query: QueryId, ad: AdId, data: EdgeData) -> &mut Self {
+        self.ops.push(DeltaOp::Upsert { query, ad, data });
+        self
+    }
+
+    /// Appends a removal op.
+    pub fn remove(&mut self, query: QueryId, ad: AdId) -> &mut Self {
+        self.ops.push(DeltaOp::Remove { query, ad });
+        self
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the delta holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies the delta to `g`, producing the next graph generation.
+    ///
+    /// Ops replay in order on a thawed builder ([`ClickGraphBuilder::from_graph`]),
+    /// so an upsert after a removal of the same edge re-creates it with only
+    /// the upsert's data, and an insert-only delta is equivalent to building
+    /// from the concatenation of `g`'s edge list and the delta's edges
+    /// (duplicate edges accumulate identically either way). Node ids are
+    /// stable: existing ids keep their names and neighbors, new ids extend
+    /// the id space.
+    pub fn apply(&self, g: &ClickGraph) -> ClickGraph {
+        let mut b = ClickGraphBuilder::from_graph(g);
+        for op in &self.ops {
+            match *op {
+                DeltaOp::Upsert { query, ad, data } => b.add_edge(query, ad, data),
+                DeltaOp::Remove { query, ad } => {
+                    b.remove_edge(query, ad);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Maps the delta to the minimal set of affected components of the
+    /// **already-updated** graph (`new_graph` must be `self.apply(old)`).
+    ///
+    /// A component is dirty iff it contains an endpoint of any op. This is
+    /// sound — every score change lies in a dirty component, because scores
+    /// only depend on a component's own edges and every mutated edge's
+    /// endpoints are marked — and it handles merges (the bridged component
+    /// contains both endpoints) and splits (each half contains one endpoint
+    /// of the removed edge) by construction. Removal endpoints whose ids
+    /// exceed the new graph's dimensions (a removal of a never-seen edge)
+    /// are ignored.
+    pub fn dirty_components(&self, new_graph: &ClickGraph) -> DirtyComponents {
+        let components = connected_components(new_graph);
+        let mut dirty = vec![false; components.count];
+        for op in &self.ops {
+            let (q, a) = op.endpoints();
+            if q.index() < new_graph.n_queries() {
+                dirty[components.query_label[q.index()] as usize] = true;
+            }
+            if a.index() < new_graph.n_ads() {
+                dirty[components.ad_label[a.index()] as usize] = true;
+            }
+        }
+        let n_dirty = dirty.iter().filter(|&&d| d).count();
+        DirtyComponents {
+            components,
+            dirty,
+            n_dirty,
+        }
+    }
+}
+
+/// The dirty/clean component labeling a delta induces on the updated graph.
+#[derive(Debug, Clone)]
+pub struct DirtyComponents {
+    /// Component labeling of the **new** (post-delta) graph.
+    pub components: Components,
+    dirty: Vec<bool>,
+    n_dirty: usize,
+}
+
+impl DirtyComponents {
+    /// Total number of components in the new graph.
+    pub fn n_components(&self) -> usize {
+        self.components.count
+    }
+
+    /// Number of dirty components.
+    pub fn n_dirty(&self) -> usize {
+        self.n_dirty
+    }
+
+    /// Number of clean (score-block-reusable) components.
+    pub fn n_clean(&self) -> usize {
+        self.components.count - self.n_dirty
+    }
+
+    /// Whether component `id` is dirty.
+    #[inline]
+    pub fn is_dirty(&self, id: u32) -> bool {
+        self.dirty[id as usize]
+    }
+
+    /// Whether query `q`'s component is dirty.
+    #[inline]
+    pub fn query_dirty(&self, q: QueryId) -> bool {
+        self.dirty[self.components.query_label[q.index()] as usize]
+    }
+
+    /// Whether ad `a`'s component is dirty.
+    #[inline]
+    pub fn ad_dirty(&self, a: AdId) -> bool {
+        self.dirty[self.components.ad_label[a.index()] as usize]
+    }
+
+    /// Number of queries living in dirty components.
+    pub fn dirty_query_count(&self) -> usize {
+        self.components
+            .query_label
+            .iter()
+            .filter(|&&l| self.dirty[l as usize])
+            .count()
+    }
+}
+
+/// One edge mutation by display name — the wire form of a delta TSV line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedOp {
+    /// Insert-or-accumulate, interning unseen names.
+    Upsert {
+        /// Query display name.
+        query: String,
+        /// Ad display name.
+        ad: String,
+        /// Observation window to merge onto the edge.
+        data: EdgeData,
+    },
+    /// Remove the named edge. Both names must already exist in the graph.
+    Remove {
+        /// Query display name.
+        query: String,
+        /// Ad display name.
+        ad: String,
+    },
+}
+
+/// Applies a batch of named ops to a **named** graph, returning the next
+/// graph generation together with the id-resolved [`GraphDelta`] (for
+/// [`GraphDelta::dirty_components`] against the returned graph).
+///
+/// Upserts intern unseen names as fresh dense ids, in first-appearance
+/// order. Removals must reference names the graph (or an earlier upsert in
+/// the same batch) knows — a typo'd removal is an error, not a silent no-op.
+pub fn apply_named(g: &ClickGraph, ops: &[NamedOp]) -> Result<(ClickGraph, GraphDelta), String> {
+    if g.query_interner().is_none() || g.ad_interner().is_none() {
+        return Err("named deltas need a graph with display names on both sides".into());
+    }
+    let mut b = ClickGraphBuilder::from_graph(g);
+    let mut delta = GraphDelta::new();
+    for op in ops {
+        match op {
+            NamedOp::Upsert { query, ad, data } => {
+                let q = b.intern_query(query);
+                let a = b.intern_ad(ad);
+                b.add_edge(q, a, *data);
+                delta.upsert(q, a, *data);
+            }
+            NamedOp::Remove { query, ad } => {
+                let q = b
+                    .query_id(query)
+                    .ok_or_else(|| format!("remove references unknown query {query:?}"))?;
+                let a = b
+                    .ad_id(ad)
+                    .ok_or_else(|| format!("remove references unknown ad {ad:?}"))?;
+                b.remove_edge(q, a);
+                delta.remove(q, a);
+            }
+        }
+    }
+    Ok((b.build(), delta))
+}
+
+/// Reads a delta TSV: `+ \t query \t ad \t impressions \t clicks \t ecr`
+/// per upsert, `- \t query \t ad` per removal; blank lines and `#` comments
+/// skipped. The leading op field makes the format self-describing and keeps
+/// names free to start with `-`.
+pub fn read_delta_tsv<R: BufRead>(input: R) -> io::Result<Vec<NamedOp>> {
+    let mut ops = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('\t').collect();
+        match fields.as_slice() {
+            ["+", q, a, impr, clicks, ecr] => {
+                let impressions: u64 = impr
+                    .parse()
+                    .map_err(|_| bad_line(line_no, &format!("bad impressions field {impr:?}")))?;
+                let clicks: u64 = clicks
+                    .parse()
+                    .map_err(|_| bad_line(line_no, &format!("bad clicks field {clicks:?}")))?;
+                let ecr: f64 = ecr
+                    .parse()
+                    .map_err(|_| bad_line(line_no, &format!("bad ECR field {ecr:?}")))?;
+                if clicks > impressions || !ecr.is_finite() || ecr < 0.0 {
+                    return Err(bad_line(line_no, "edge data violates invariants"));
+                }
+                ops.push(NamedOp::Upsert {
+                    query: (*q).to_owned(),
+                    ad: (*a).to_owned(),
+                    data: EdgeData {
+                        impressions,
+                        clicks,
+                        expected_click_rate: ecr,
+                    },
+                });
+            }
+            ["-", q, a] => ops.push(NamedOp::Remove {
+                query: (*q).to_owned(),
+                ad: (*a).to_owned(),
+            }),
+            [op, ..] if *op != "+" && *op != "-" => {
+                return Err(bad_line(
+                    line_no,
+                    &format!("unknown op {op:?} (expected '+' or '-')"),
+                ))
+            }
+            _ => {
+                return Err(bad_line(
+                    line_no,
+                    "wrong field count (upsert: 6 fields, removal: 3)",
+                ))
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// Writes named ops in the [`read_delta_tsv`] format. Names containing a
+/// tab or newline are rejected — they would shift every following field.
+pub fn write_delta_tsv<W: Write>(ops: &[NamedOp], out: W) -> io::Result<()> {
+    let check = |field: &str, name: &str| -> io::Result<()> {
+        if name.contains(['\t', '\n', '\r']) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{field} name {name:?} contains a tab or newline"),
+            ));
+        }
+        Ok(())
+    };
+    let mut w = BufWriter::new(out);
+    for op in ops {
+        match op {
+            NamedOp::Upsert { query, ad, data } => {
+                check("query", query)?;
+                check("ad", ad)?;
+                writeln!(
+                    w,
+                    "+\t{query}\t{ad}\t{}\t{}\t{}",
+                    data.impressions, data.clicks, data.expected_click_rate
+                )?;
+            }
+            NamedOp::Remove { query, ad } => {
+                check("query", query)?;
+                check("ad", ad)?;
+                writeln!(w, "-\t{query}\t{ad}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+fn bad_line(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("delta TSV line {line_no}: {msg}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure3_graph;
+    use crate::ids::NodeRef;
+
+    fn fig3_delta_merge() -> GraphDelta {
+        // Bridge the flower component into the big one.
+        let g = figure3_graph();
+        let mut d = GraphDelta::new();
+        d.upsert(
+            g.query_by_name("flower").unwrap(),
+            g.ad_by_name("hp.com").unwrap(),
+            EdgeData::from_clicks(1),
+        );
+        d
+    }
+
+    #[test]
+    fn upsert_accumulates_like_builder() {
+        let g = figure3_graph();
+        let camera = g.query_by_name("camera").unwrap();
+        let hp = g.ad_by_name("hp.com").unwrap();
+        let before = *g.edge(camera, hp).unwrap();
+        let mut d = GraphDelta::new();
+        d.upsert(camera, hp, EdgeData::from_clicks(3));
+        let g2 = d.apply(&g);
+        let after = g2.edge(camera, hp).unwrap();
+        assert_eq!(after.clicks, before.clicks + 3);
+        assert_eq!(g2.n_edges(), g.n_edges());
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn removal_keeps_nodes_dense() {
+        let g = figure3_graph();
+        let flower = g.query_by_name("flower").unwrap();
+        let tele = g.ad_by_name("teleflora.com").unwrap();
+        let orchids = g.ad_by_name("orchids.com").unwrap();
+        let mut d = GraphDelta::new();
+        d.remove(flower, tele).remove(flower, orchids);
+        let g2 = d.apply(&g);
+        assert_eq!(g2.n_queries(), g.n_queries());
+        assert_eq!(g2.n_ads(), g.n_ads());
+        assert_eq!(g2.n_edges(), g.n_edges() - 2);
+        assert_eq!(g2.query_degree(flower), 0);
+        assert_eq!(g2.query_name(flower), Some("flower"));
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn ops_replay_in_order() {
+        let g = figure3_graph();
+        let camera = g.query_by_name("camera").unwrap();
+        let hp = g.ad_by_name("hp.com").unwrap();
+        let mut d = GraphDelta::new();
+        d.remove(camera, hp)
+            .upsert(camera, hp, EdgeData::from_clicks(9));
+        let g2 = d.apply(&g);
+        // The removal wiped the accumulated history; the upsert starts fresh.
+        assert_eq!(g2.edge(camera, hp).unwrap().clicks, 9);
+    }
+
+    #[test]
+    fn new_ids_grow_the_graph() {
+        let g = figure3_graph();
+        let mut d = GraphDelta::new();
+        let new_q = QueryId(g.n_queries() as u32);
+        let new_a = AdId(g.n_ads() as u32);
+        d.upsert(new_q, new_a, EdgeData::from_clicks(2));
+        let g2 = d.apply(&g);
+        assert_eq!(g2.n_queries(), g.n_queries() + 1);
+        assert_eq!(g2.n_ads(), g.n_ads() + 1);
+        assert!(g2.has_edge(new_q, new_a));
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_delta_reproduces_the_graph_exactly() {
+        let g = figure3_graph();
+        let g2 = GraphDelta::new().apply(&g);
+        assert_eq!(g2.n_queries(), g.n_queries());
+        assert_eq!(g2.n_ads(), g.n_ads());
+        assert_eq!(g2.n_edges(), g.n_edges());
+        for (q, a, e) in g.edges() {
+            assert_eq!(g2.edge(q, a), Some(e));
+            assert_eq!(g2.query_name(q), g.query_name(q));
+        }
+    }
+
+    #[test]
+    fn dirty_components_marks_insert_merge() {
+        // Figure 3 has two components; a flower→hp edge merges them into
+        // one, which must be the single dirty component.
+        let g = figure3_graph();
+        let d = fig3_delta_merge();
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+        assert_eq!(dirty.n_components(), 1);
+        assert_eq!(dirty.n_dirty(), 1);
+        assert_eq!(dirty.n_clean(), 0);
+        assert!(dirty.query_dirty(g.query_by_name("pc").unwrap()));
+        assert!(dirty.query_dirty(g.query_by_name("flower").unwrap()));
+    }
+
+    #[test]
+    fn dirty_components_marks_both_halves_of_a_split() {
+        // Removing flower→teleflora splits {flower, teleflora, orchids}:
+        // flower+orchids stay joined, teleflora is orphaned. Both resulting
+        // components are dirty; the big component is clean.
+        let g = figure3_graph();
+        let flower = g.query_by_name("flower").unwrap();
+        let tele = g.ad_by_name("teleflora.com").unwrap();
+        let mut d = GraphDelta::new();
+        d.remove(flower, tele);
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+        assert_eq!(dirty.n_components(), 3);
+        assert_eq!(dirty.n_dirty(), 2);
+        assert_eq!(dirty.n_clean(), 1);
+        assert!(dirty.query_dirty(flower));
+        assert!(dirty.ad_dirty(tele));
+        assert!(!dirty.query_dirty(g.query_by_name("camera").unwrap()));
+    }
+
+    #[test]
+    fn untouched_component_stays_clean() {
+        let g = figure3_graph();
+        let camera = g.query_by_name("camera").unwrap();
+        let hp = g.ad_by_name("hp.com").unwrap();
+        let mut d = GraphDelta::new();
+        d.upsert(camera, hp, EdgeData::from_clicks(1));
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+        assert_eq!(dirty.n_components(), 2);
+        assert_eq!(dirty.n_dirty(), 1);
+        let flower = g.query_by_name("flower").unwrap();
+        assert!(!dirty.query_dirty(flower));
+        assert!(dirty.query_dirty(camera));
+        // The clean component's members and edges are untouched.
+        let label = dirty.components.label(NodeRef::Query(flower));
+        assert!(!dirty.is_dirty(label));
+        assert_eq!(dirty.dirty_query_count(), 4);
+    }
+
+    #[test]
+    fn apply_named_interns_new_names_and_resolves() {
+        let g = figure3_graph();
+        let ops = vec![
+            NamedOp::Upsert {
+                query: "rose".into(),
+                ad: "teleflora.com".into(),
+                data: EdgeData::from_clicks(2),
+            },
+            NamedOp::Remove {
+                query: "flower".into(),
+                ad: "orchids.com".into(),
+            },
+        ];
+        let (g2, delta) = apply_named(&g, &ops).unwrap();
+        assert_eq!(delta.len(), 2);
+        let rose = g2.query_by_name("rose").unwrap();
+        assert_eq!(rose.index(), g.n_queries()); // fresh dense id
+        assert!(g2.has_edge(rose, g2.ad_by_name("teleflora.com").unwrap()));
+        let flower = g2.query_by_name("flower").unwrap();
+        assert!(!g2.has_edge(flower, g2.ad_by_name("orchids.com").unwrap()));
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_named_rejects_unknown_removal_and_unnamed_graph() {
+        let g = figure3_graph();
+        let err = apply_named(
+            &g,
+            &[NamedOp::Remove {
+                query: "no such".into(),
+                ad: "hp.com".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown query"), "{err}");
+
+        let mut b = ClickGraphBuilder::new();
+        b.add_edge(QueryId(0), AdId(0), EdgeData::from_clicks(1));
+        let unnamed = b.build();
+        assert!(apply_named(&unnamed, &[]).is_err());
+    }
+
+    #[test]
+    fn delta_tsv_round_trips() {
+        let ops = vec![
+            NamedOp::Upsert {
+                query: "camera".into(),
+                ad: "hp.com".into(),
+                data: EdgeData::new(10, 4, 0.25),
+            },
+            NamedOp::Remove {
+                query: "flower".into(),
+                ad: "teleflora.com".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_delta_tsv(&ops, &mut buf).unwrap();
+        let parsed = read_delta_tsv(buf.as_slice()).unwrap();
+        assert_eq!(parsed, ops);
+    }
+
+    #[test]
+    fn delta_tsv_skips_comments_and_rejects_garbage() {
+        let ok = "# comment\n\n+\tq\ta\t5\t2\t0.4\n-\tq\ta\n";
+        assert_eq!(read_delta_tsv(ok.as_bytes()).unwrap().len(), 2);
+        for bad in [
+            "*\tq\ta\n",              // unknown op
+            "+\tq\ta\t5\n",           // wrong field count
+            "+\tq\ta\t5\tsix\t0.4\n", // bad clicks
+            "+\tq\ta\t5\t9\t0.4\n",   // clicks > impressions
+            "+\tq\ta\t5\t2\tNaN\n",   // non-finite ecr
+            "-\tq\ta\textra\n",       // removal with extra field
+        ] {
+            assert!(read_delta_tsv(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn write_delta_tsv_rejects_tab_names() {
+        let ops = vec![NamedOp::Remove {
+            query: "a\tb".into(),
+            ad: "x".into(),
+        }];
+        assert!(write_delta_tsv(&ops, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn removal_of_out_of_range_ids_is_harmless() {
+        let g = figure3_graph();
+        let mut d = GraphDelta::new();
+        d.remove(QueryId(999), AdId(999));
+        let g2 = d.apply(&g);
+        assert_eq!(g2.n_edges(), g.n_edges());
+        // dirty_components must not index out of bounds.
+        let dirty = d.dirty_components(&g2);
+        assert_eq!(dirty.n_dirty(), 0);
+    }
+}

@@ -19,12 +19,16 @@
 //! * string interning for query/ad display names ([`interner::Interner`]);
 //! * connected components, induced subgraphs, component [`sharding`],
 //!   degree statistics;
+//! * incremental updates ([`delta::GraphDelta`]): batched edge
+//!   upserts/removals with dirty-component analysis for exact
+//!   component-local recompute;
 //! * TSV + serde I/O;
 //! * the paper's worked-example graphs ([`fixtures`]): Figure 3's sample click
 //!   graph and the complete bipartite graphs of Figure 4.
 
 pub mod builder;
 pub mod components;
+pub mod delta;
 pub mod edge;
 pub mod fixtures;
 pub mod graph;
@@ -37,6 +41,7 @@ pub mod subgraph;
 pub mod window;
 
 pub use builder::ClickGraphBuilder;
+pub use delta::{DeltaOp, DirtyComponents, GraphDelta, NamedOp};
 pub use edge::{EdgeData, WeightKind};
 pub use graph::ClickGraph;
 pub use ids::{AdId, NodeRef, QueryId};

@@ -85,6 +85,23 @@ impl Sharding {
     /// As [`Sharding::from_components`] with a precomputed labeling (the
     /// caller may already have run `connected_components`).
     pub fn from_labels(g: &ClickGraph, components: &Components) -> Sharding {
+        Self::from_labels_filtered(g, components, |_| true)
+    }
+
+    /// The incremental-update decomposition: one shard per **dirty**
+    /// non-trivial component of the updated graph (see
+    /// [`crate::delta::GraphDelta::dirty_components`]). Clean components get
+    /// no shard — the engine reuses their score blocks from the previous
+    /// run — and `n_trivial` counts only trivial *dirty* components.
+    pub fn from_dirty(g: &ClickGraph, dirty: &crate::delta::DirtyComponents) -> Sharding {
+        Self::from_labels_filtered(g, &dirty.components, |id| dirty.is_dirty(id))
+    }
+
+    fn from_labels_filtered(
+        g: &ClickGraph,
+        components: &Components,
+        keep: impl Fn(u32) -> bool,
+    ) -> Sharding {
         let sizes = components.sizes();
         let mut shards = Vec::new();
         let mut n_trivial = 0usize;
@@ -102,6 +119,9 @@ impl Sharding {
             members[l as usize].push(NodeRef::Ad(AdId(i as u32)));
         }
         for (id, nodes) in members.into_iter().enumerate() {
+            if !keep(id as u32) {
+                continue;
+            }
             let (q, a) = sizes[id];
             if q < 2 && a < 2 {
                 n_trivial += 1;
@@ -215,6 +235,32 @@ mod tests {
         assert_eq!(s.shards[1].graph.n_queries(), 1);
         assert_eq!(s.shards[1].graph.n_ads(), 2);
         s.validate_disjoint().unwrap();
+    }
+
+    #[test]
+    fn from_dirty_shards_only_dirty_components() {
+        use crate::delta::GraphDelta;
+        // Touch only the big component: the flower component stays clean and
+        // gets no shard.
+        let g = figure3_graph();
+        let mut d = GraphDelta::new();
+        d.upsert(
+            g.query_by_name("camera").unwrap(),
+            g.ad_by_name("hp.com").unwrap(),
+            EdgeData::from_clicks(1),
+        );
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+        let s = Sharding::from_dirty(&g2, &dirty);
+        assert!(s.exact);
+        assert_eq!(s.n_shards(), 1);
+        assert_eq!(s.n_trivial, 0);
+        assert_eq!(s.shards[0].graph.n_queries(), 4);
+        s.validate_disjoint().unwrap();
+        // An empty delta shards nothing.
+        let none = GraphDelta::new();
+        let clean = none.dirty_components(&g2);
+        assert_eq!(Sharding::from_dirty(&g2, &clean).n_shards(), 0);
     }
 
     #[test]

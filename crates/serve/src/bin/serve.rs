@@ -1,10 +1,13 @@
-//! Build, inspect, and serve rewrite indexes from the command line.
+//! Build, inspect, update, and serve rewrite indexes from the command line.
 //!
 //! ```text
 //! serve build <graph.tsv> <out.idx> [method] [shard]   offline: TSV graph → snapshot
 //! serve build --fixture fig3 <out.idx> [method] [shard]   (the paper's Figure 3 graph)
 //! serve run <index.idx>                        online: line protocol on stdin/stdout
 //! serve run --graph <graph.tsv> [method] [shard]   build in memory, then serve
+//!                                              (enables the `update` protocol verb)
+//! serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3
+//!              [out.idx] [--write-graph <path>]    incremental: refresh dirty rows only
 //! serve info <index.idx>                       print snapshot header + stats
 //! ```
 //!
@@ -15,11 +18,21 @@
 //! monolithic build), `off`, or `extracted:K` (approximate ACL carving of
 //! the giant component into K blocks). Diagnostics go to stderr; stdout
 //! carries only the line protocol, so `serve run` pipes cleanly.
+//!
+//! `serve update` applies a delta TSV (`+\tquery\tad\timpr\tclicks\tecr`
+//! per upsert, `-\tquery\tad` per removal) to the graph the snapshot was
+//! built from, recomputes only the dirty components' rows, and writes the
+//! next snapshot generation (in place unless `out.idx` is given). The
+//! snapshot's own metadata supplies the method — no method argument.
 
 use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, ShardStrategy, SimrankConfig};
+use simrankpp_graph::delta::{apply_named, read_delta_tsv};
 use simrankpp_graph::fixtures::figure3_graph;
-use simrankpp_graph::{io::read_tsv, ClickGraph, WeightKind};
-use simrankpp_serve::{serve_lines, RewriteIndex};
+use simrankpp_graph::{
+    io::{read_tsv, write_tsv},
+    ClickGraph, WeightKind,
+};
+use simrankpp_serve::{serve_session, RewriteIndex, ServeState, UpdateContext};
 use std::fs::File;
 use std::io::{self, BufReader};
 use std::process::ExitCode;
@@ -29,6 +42,7 @@ const USAGE: &str = "usage:
   serve build <graph.tsv>|--fixture fig3 <out.idx> [method] [shard]
   serve run <index.idx>
   serve run --graph <graph.tsv> [method] [shard]
+  serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3 [out.idx] [--write-graph <path>]
   serve info <index.idx>
 method: naive | pearson | simrank | evidence | weighted (default weighted)
 shard:  components | off | extracted:K (default components; exact)";
@@ -38,6 +52,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") => build(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("update") => update(&args[1..]),
         Some("info") => info(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -86,11 +101,18 @@ fn shard_strategy(name: &str) -> Result<ShardStrategy, String> {
     })
 }
 
+/// The one serving configuration: every `serve` code path — `build`, `run
+/// --graph`, `update`, and the protocol `update` verb — must compute with
+/// identical parameters, or an incremental rebuild would mix generations.
+fn serve_config(sharding: ShardStrategy) -> SimrankConfig {
+    SimrankConfig::default()
+        .with_weight_kind(WeightKind::Clicks)
+        .with_sharding(sharding)
+}
+
 fn build_index(graph: &ClickGraph, kind: MethodKind, sharding: ShardStrategy) -> RewriteIndex {
     let t0 = Instant::now();
-    let config = SimrankConfig::default()
-        .with_weight_kind(WeightKind::Clicks)
-        .with_sharding(sharding);
+    let config = serve_config(sharding);
     let method = Method::compute(kind, graph, &config);
     eprintln!(
         "computed {} over {} queries / {} ads ({sharding:?} sharding) in {:.1?}",
@@ -101,7 +123,12 @@ fn build_index(graph: &ClickGraph, kind: MethodKind, sharding: ShardStrategy) ->
     );
     let t1 = Instant::now();
     let rewriter = Rewriter::new(graph, method, RewriterConfig::default());
-    let index = RewriteIndex::build(&rewriter, None, 0);
+    let mut index = RewriteIndex::build(&rewriter, None, 0);
+    if let ShardStrategy::Extracted(_) = sharding {
+        // Extraction sharding cuts edges; record the approximation so
+        // snapshots of this index refuse exact incremental refresh later.
+        index.set_approx_sharding(true);
+    }
     eprintln!(
         "indexed {} rewrites for {} queries in {:.1?}",
         index.n_entries(),
@@ -133,28 +160,135 @@ fn build(args: &[String]) -> Result<(), String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let index = match args.first().map(String::as_str) {
+    let state = match args.first().map(String::as_str) {
         Some("--graph") => {
             let path = args.get(1).ok_or(USAGE.to_owned())?;
             let kind = method_kind(args.get(2).map(String::as_str).unwrap_or("weighted"))?;
             let sharding = shard_strategy(args.get(3).map(String::as_str).unwrap_or("components"))?;
-            build_index(&load_graph(path, false)?, kind, sharding)
+            let graph = load_graph(path, false)?;
+            let index = build_index(&graph, kind, sharding);
+            if let ShardStrategy::Extracted(_) = sharding {
+                // Extraction sharding cuts edges (approximate); an exact
+                // per-component incremental refresh would silently mix
+                // regimes with the approximate rows it copies. Serve
+                // frozen instead of producing a hybrid index.
+                eprintln!(
+                    "extracted sharding is approximate: `update` disabled \
+                     (rebuild with `components` to enable incremental updates)"
+                );
+                ServeState::fixed(index)
+            } else {
+                eprintln!("live graph held: `update <delta.tsv>` hot-swaps the index in place");
+                ServeState::updatable(
+                    index,
+                    UpdateContext {
+                        graph,
+                        config: serve_config(sharding),
+                        rewriter: RewriterConfig::default(),
+                    },
+                )
+            }
         }
         Some(path) => {
             let index = RewriteIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
             eprintln!(
-                "loaded {}: {} queries, {} rewrites ({})",
+                "loaded {}: {} queries, {} rewrites ({}); snapshot mode, `update` disabled \
+                 (use `serve update` offline or `run --graph`)",
                 path,
                 index.n_queries(),
                 index.n_entries(),
                 index.meta().method.name()
             );
-            index
+            ServeState::fixed(index)
         }
         None => return Err(USAGE.to_owned()),
     };
     let stdin = io::stdin();
-    serve_lines(&index, stdin.lock(), io::stdout()).map_err(|e| format!("protocol error: {e}"))
+    serve_session(&state, stdin.lock(), io::stdout()).map_err(|e| format!("protocol error: {e}"))
+}
+
+fn update(args: &[String]) -> Result<(), String> {
+    let idx_path = args.first().ok_or(USAGE.to_owned())?;
+    let delta_path = args.get(1).ok_or(USAGE.to_owned())?;
+    let mut graph_src: Option<(String, bool)> = None;
+    let mut out_path: Option<String> = None;
+    let mut write_graph: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        let flag_value = |name: &str| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match args[i].as_str() {
+            "--graph" => {
+                graph_src = Some((flag_value("--graph")?, false));
+                i += 2;
+            }
+            "--fixture" => {
+                graph_src = Some((flag_value("--fixture")?, true));
+                i += 2;
+            }
+            "--write-graph" => {
+                write_graph = Some(flag_value("--write-graph")?);
+                i += 2;
+            }
+            other if !other.starts_with("--") && out_path.is_none() => {
+                out_path = Some(other.to_owned());
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    let (src, fixture) =
+        graph_src.ok_or_else(|| format!("update needs --graph or --fixture\n{USAGE}"))?;
+    let graph = load_graph(&src, fixture)?;
+    let index = RewriteIndex::load(idx_path).map_err(|e| format!("cannot load {idx_path}: {e}"))?;
+    let delta_file =
+        File::open(delta_path).map_err(|e| format!("cannot open {delta_path}: {e}"))?;
+    let ops = read_delta_tsv(BufReader::new(delta_file))
+        .map_err(|e| format!("cannot parse {delta_path}: {e}"))?;
+
+    let t0 = Instant::now();
+    let (new_graph, delta) = apply_named(&graph, &ops)?;
+    let dirty = delta.dirty_components(&new_graph);
+    let config = serve_config(ShardStrategy::Components);
+    let (next, stats) = index.rebuild_incremental(
+        &new_graph,
+        &dirty,
+        &config,
+        &RewriterConfig::default(),
+        None,
+    )?;
+    eprintln!(
+        "applied {} delta op(s): {} of {} queries refreshed, {} copied \
+         ({} dirty / {} clean components) in {:.1?}",
+        ops.len(),
+        stats.refreshed_queries,
+        next.n_queries(),
+        stats.copied_queries,
+        stats.n_dirty_components,
+        stats.n_clean_components,
+        t0.elapsed()
+    );
+
+    let out = out_path.as_deref().unwrap_or(idx_path);
+    next.save(out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("snapshot written to {out}");
+    match write_graph {
+        Some(gp) => {
+            let f = File::create(&gp).map_err(|e| format!("cannot create {gp}: {e}"))?;
+            write_tsv(&new_graph, f).map_err(|e| format!("cannot write {gp}: {e}"))?;
+            eprintln!("updated graph written to {gp}");
+        }
+        None => eprintln!(
+            "warning: the post-delta graph was NOT persisted (no --write-graph); a further \
+             `serve update` against the original graph source would recompute dirty \
+             components without this delta's edges and silently drop its effects"
+        ),
+    }
+    Ok(())
 }
 
 fn info(args: &[String]) -> Result<(), String> {
@@ -171,6 +305,7 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("method          {}", index.meta().method.name());
     println!("max rewrites    {}", index.meta().max_rewrites);
     println!("bid filtered    {}", index.meta().bid_filtered);
+    println!("approx sharding {}", index.meta().approx_sharding);
     println!("queries         {}", index.n_queries());
     println!("rewrites        {}", index.n_entries());
     println!(

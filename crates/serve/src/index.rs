@@ -14,8 +14,8 @@
 //! cloned name interner answers `lookup("camera")` for the line protocol.
 
 use serde::{Deserialize, Serialize};
-use simrankpp_core::{MethodKind, Rewriter};
-use simrankpp_graph::{Interner, QueryId};
+use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
+use simrankpp_graph::{ClickGraph, DirtyComponents, Interner, QueryId, Sharding};
 use simrankpp_util::FxHashSet;
 
 /// Provenance carried by an index (and through snapshots): what produced the
@@ -28,6 +28,35 @@ pub struct IndexMeta {
     pub max_rewrites: u32,
     /// Whether the §9.3 bid-term filter was applied at build time.
     pub bid_filtered: bool,
+    /// Whether the scores were computed under an **approximate** (edge
+    /// cutting) sharding regime such as `ShardStrategy::Extracted`.
+    /// Incremental refresh is exact-per-component and would silently mix
+    /// regimes with copied approximate rows, so
+    /// [`RewriteIndex::rebuild_incremental`] refuses such indexes.
+    /// Defaults to `false` (exact) for artifacts predating the field.
+    #[serde(default)]
+    pub approx_sharding: bool,
+}
+
+/// One recomputed row during an incremental rebuild: the global query index
+/// plus its refreshed `(target, score)` entries.
+type FreshRow = (usize, Vec<(u32, f64)>);
+
+/// Refresh accounting returned by [`RewriteIndex::rebuild_incremental`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Queries whose rows were recomputed (they live in dirty components).
+    pub refreshed_queries: usize,
+    /// Queries whose rows were copied verbatim from the previous generation.
+    pub copied_queries: usize,
+    /// Rewrite entries in the recomputed rows.
+    pub refreshed_entries: usize,
+    /// Rewrite entries copied verbatim.
+    pub copied_entries: usize,
+    /// Dirty components in the delta analysis.
+    pub n_dirty_components: usize,
+    /// Clean components whose queries were all copied.
+    pub n_clean_components: usize,
 }
 
 /// An immutable query → top-k rewrites index over one click graph.
@@ -100,6 +129,7 @@ impl RewriteIndex {
                 method: rewriter.method().kind(),
                 max_rewrites: rewriter.config().max_rewrites as u32,
                 bid_filtered: bid_terms.is_some(),
+                approx_sharding: false,
             },
             n_queries: g.n_queries() as u32,
             offsets,
@@ -107,6 +137,180 @@ impl RewriteIndex {
             scores,
             names: g.query_interner().cloned(),
         }
+    }
+
+    /// Rebuilds only the **dirty** queries' rows after a graph delta,
+    /// copying every clean query's row from `self` verbatim — the serving
+    /// half of the incremental-update story.
+    ///
+    /// `new_graph` is the post-delta graph and `dirty` the analysis from
+    /// [`simrankpp_graph::GraphDelta::dirty_components`] over it. For each
+    /// dirty non-trivial component the similarity method named by
+    /// `self.meta.method` is recomputed **on the induced component subgraph
+    /// alone** (serial, unsharded — the regime where component decomposition
+    /// is bit-exact, see `simrankpp_core::engine::sharded`) and the §9.3
+    /// pipeline re-runs for its queries; shard-local ids remap monotonically
+    /// to global ones, so candidate ordering ties break identically to a
+    /// full rebuild. Queries in clean components keep their exact rows: the
+    /// result is bit-identical to `RewriteIndex::build` over the new graph
+    /// at test scale.
+    ///
+    /// `config`/`rewriter_config`/`bid_terms` must match what built `self`
+    /// (checked against `meta` where recorded: method family via
+    /// `meta.method`, row cap via `meta.max_rewrites`, bid filtering via
+    /// `meta.bid_filtered`). Recursive methods assume the default
+    /// (geometric) evidence formula, as [`RewriteIndex::build`] callers use.
+    ///
+    /// Returns the next index generation plus the refresh accounting.
+    pub fn rebuild_incremental(
+        &self,
+        new_graph: &ClickGraph,
+        dirty: &DirtyComponents,
+        config: &SimrankConfig,
+        rewriter_config: &RewriterConfig,
+        bid_terms: Option<&FxHashSet<QueryId>>,
+    ) -> Result<(RewriteIndex, RebuildStats), String> {
+        if rewriter_config.max_rewrites as u32 != self.meta.max_rewrites {
+            return Err(format!(
+                "rewriter max_rewrites {} does not match the index's {}",
+                rewriter_config.max_rewrites, self.meta.max_rewrites
+            ));
+        }
+        if bid_terms.is_some() != self.meta.bid_filtered {
+            return Err("bid filtering must match the original build".into());
+        }
+        if self.meta.approx_sharding {
+            return Err(
+                "index was built under approximate (extracted) sharding: an exact \
+                 per-component refresh would mix regimes — rebuild with `components`"
+                    .into(),
+            );
+        }
+        let old_n = self.n_queries();
+        let new_n = new_graph.n_queries();
+        if new_n < old_n {
+            return Err(format!(
+                "updated graph has {new_n} queries but the index covers {old_n}: \
+                 deltas never remove nodes"
+            ));
+        }
+        if dirty.components.query_label.len() != new_n {
+            return Err("dirty-component analysis was built for a different graph".into());
+        }
+        for q in old_n..new_n {
+            if !dirty.query_dirty(QueryId(q as u32)) {
+                return Err(format!(
+                    "new query {q} is not marked dirty — stale delta analysis?"
+                ));
+            }
+        }
+
+        // Recompute the method per dirty component, on the induced subgraph,
+        // in the serial unsharded regime (bit-exact decomposition). Like the
+        // engine's sharded runner, parallelism lives at the shard level:
+        // `config.threads` scoped workers pull shards off an atomic queue
+        // (each shard stays serial inside, and shards write disjoint query
+        // rows, so the result is identical for any worker count).
+        let local_cfg = SimrankConfig {
+            threads: 1,
+            sharding: simrankpp_core::ShardStrategy::Off,
+            ..*config
+        };
+        let sharding = Sharding::from_dirty(new_graph, dirty);
+        let rebuild_shard = |shard: &simrankpp_graph::Shard| -> Vec<FreshRow> {
+            let method = Method::compute(self.meta.method, &shard.graph, &local_cfg);
+            let rewriter = Rewriter::new(&shard.graph, method, *rewriter_config);
+            let shard_bids: Option<FxHashSet<QueryId>> = bid_terms.map(|bids| {
+                bids.iter()
+                    .filter_map(|&b| shard.mapping.to_sub_query(b))
+                    .collect()
+            });
+            let mut row = Vec::new();
+            let mut out = Vec::with_capacity(shard.graph.n_queries());
+            for sq in shard.graph.queries() {
+                rewriter.rewrite_ids_into(sq, shard_bids.as_ref(), &mut row);
+                let global: Vec<(u32, f64)> = row
+                    .iter()
+                    .map(|&(t, s)| (shard.mapping.to_parent_query(t).0, s))
+                    .collect();
+                out.push((shard.mapping.to_parent_query(sq).index(), global));
+            }
+            out
+        };
+        let workers = config.effective_threads().min(sharding.n_shards()).max(1);
+        let shard_rows: Vec<Vec<FreshRow>> =
+            simrankpp_core::engine::parallel::run_indexed(sharding.n_shards(), workers, |i| {
+                rebuild_shard(&sharding.shards[i])
+            });
+        let mut fresh: Vec<Option<Vec<(u32, f64)>>> = vec![None; new_n];
+        let mut refreshed_entries = 0usize;
+        for (q, global) in shard_rows.into_iter().flatten() {
+            refreshed_entries += global.len();
+            fresh[q] = Some(global);
+        }
+
+        // Assemble the next arena generation: fresh rows for dirty queries
+        // (empty when their component holds no candidates), verbatim copies
+        // for clean ones.
+        let mut offsets = Vec::with_capacity(new_n + 1);
+        let mut targets = Vec::new();
+        let mut scores = Vec::new();
+        offsets.push(0u32);
+        let mut refreshed_queries = 0usize;
+        let mut copied_entries = 0usize;
+        for (q, slot) in fresh.iter_mut().enumerate() {
+            let qid = QueryId(q as u32);
+            if dirty.query_dirty(qid) {
+                refreshed_queries += 1;
+                if let Some(row) = slot.take() {
+                    for (t, s) in row {
+                        targets.push(t);
+                        scores.push(s);
+                    }
+                }
+            } else {
+                let old = self.rewrites_of(qid);
+                copied_entries += old.len();
+                targets.extend_from_slice(old.ids());
+                scores.extend_from_slice(old.scores());
+            }
+            let total = targets.len() as u64;
+            if total >= u64::from(u32::MAX) {
+                return Err("index exceeds u32 arena offsets".into());
+            }
+            offsets.push(total as u32);
+        }
+        targets.shrink_to_fit();
+        scores.shrink_to_fit();
+
+        let stats = RebuildStats {
+            refreshed_queries,
+            copied_queries: new_n - refreshed_queries,
+            refreshed_entries,
+            copied_entries,
+            n_dirty_components: dirty.n_dirty(),
+            n_clean_components: dirty.n_clean(),
+        };
+        Ok((
+            RewriteIndex {
+                meta: self.meta,
+                n_queries: new_n as u32,
+                offsets,
+                targets,
+                scores,
+                names: new_graph.query_interner().cloned(),
+            },
+            stats,
+        ))
+    }
+
+    /// Marks the index as built under an approximate (edge-cutting) sharding
+    /// regime. `RewriteIndex::build` cannot see the engine strategy (it only
+    /// receives precomputed scores), so the caller that chose
+    /// `ShardStrategy::Extracted` must record it; the flag travels through
+    /// snapshots and blocks incremental refresh.
+    pub fn set_approx_sharding(&mut self, approx: bool) {
+        self.meta.approx_sharding = approx;
     }
 
     /// Build provenance.
@@ -369,6 +573,153 @@ mod tests {
         }
         // Name lookup works after the reverse index rebuild.
         assert!(loaded.lookup("camera").is_some());
+    }
+
+    #[test]
+    fn rebuild_incremental_matches_full_rebuild_and_copies_clean_rows() {
+        use simrankpp_graph::{EdgeData, GraphDelta};
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let old = fig3_index();
+
+        // Boost camera→bestbuy: only the big component is dirty; flower's
+        // component (and row) must be copied untouched.
+        let mut d = GraphDelta::new();
+        d.upsert(
+            g.query_by_name("camera").unwrap(),
+            g.ad_by_name("bestbuy.com").unwrap(),
+            EdgeData::from_clicks(50),
+        );
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+
+        let (inc, stats) = old
+            .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), None)
+            .unwrap();
+        inc.validate().unwrap();
+        assert_eq!(stats.refreshed_queries, 4);
+        assert_eq!(stats.copied_queries, 1);
+        assert_eq!(stats.n_dirty_components, 1);
+        assert_eq!(stats.n_clean_components, 1);
+
+        // Bit-identical to a from-scratch build over the new graph.
+        let method = Method::compute(MethodKind::WeightedSimrank, &g2, &cfg);
+        let rewriter = Rewriter::new(&g2, method, RewriterConfig::default());
+        let full = RewriteIndex::build(&rewriter, None, 1);
+        assert_eq!(inc.n_entries(), full.n_entries());
+        for q in g2.queries() {
+            assert_eq!(inc.rewrites_of(q).ids(), full.rewrites_of(q).ids());
+            assert_eq!(inc.rewrites_of(q).scores(), full.rewrites_of(q).scores());
+        }
+    }
+
+    #[test]
+    fn rebuild_incremental_handles_new_queries() {
+        use simrankpp_graph::delta::{apply_named, NamedOp};
+        use simrankpp_graph::EdgeData;
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let old = fig3_index();
+        let ops = vec![NamedOp::Upsert {
+            query: "laptop".into(),
+            ad: "hp.com".into(),
+            data: EdgeData::from_clicks(4),
+        }];
+        let (g2, delta) = apply_named(&g, &ops).unwrap();
+        let dirty = delta.dirty_components(&g2);
+        let (inc, stats) = old
+            .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), None)
+            .unwrap();
+        inc.validate().unwrap();
+        assert_eq!(inc.n_queries(), g.n_queries() + 1);
+        assert_eq!(stats.copied_queries, 1); // flower only
+        assert!(!inc.lookup("laptop").unwrap().is_empty());
+
+        let method = Method::compute(MethodKind::WeightedSimrank, &g2, &cfg);
+        let rewriter = Rewriter::new(&g2, method, RewriterConfig::default());
+        let full = RewriteIndex::build(&rewriter, None, 1);
+        for q in g2.queries() {
+            assert_eq!(inc.rewrites_of(q).ids(), full.rewrites_of(q).ids());
+            assert_eq!(inc.rewrites_of(q).scores(), full.rewrites_of(q).scores());
+        }
+    }
+
+    #[test]
+    fn rebuild_incremental_rejects_mismatched_parameters() {
+        use simrankpp_graph::GraphDelta;
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let old = fig3_index();
+        let d = GraphDelta::new();
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+
+        // Row cap mismatch.
+        let narrow = RewriterConfig {
+            max_rewrites: 3,
+            ..RewriterConfig::default()
+        };
+        assert!(old
+            .rebuild_incremental(&g2, &dirty, &cfg, &narrow, None)
+            .is_err());
+        // Bid-filter mismatch (the index was built without bids).
+        let bids = FxHashSet::default();
+        assert!(old
+            .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), Some(&bids))
+            .is_err());
+        // Wrong-graph dirty analysis.
+        let other = {
+            use simrankpp_graph::{ClickGraphBuilder, EdgeData};
+            let mut b = ClickGraphBuilder::new();
+            b.add_named("x", "y", EdgeData::from_clicks(1));
+            b.build()
+        };
+        let other_dirty = GraphDelta::new().dirty_components(&other);
+        assert!(old
+            .rebuild_incremental(&g2, &other_dirty, &cfg, &RewriterConfig::default(), None)
+            .is_err());
+        // Approximate-sharding builds refuse exact incremental refresh.
+        let mut approx = old.clone();
+        approx.set_approx_sharding(true);
+        let err = approx
+            .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), None)
+            .unwrap_err();
+        assert!(err.contains("approximate"), "{err}");
+    }
+
+    #[test]
+    fn rebuild_incremental_parallel_workers_match_serial() {
+        use simrankpp_graph::{EdgeData, GraphDelta};
+        // Shard-level parallelism must not change a single byte of the
+        // rebuilt arena (shards write disjoint rows; each stays serial).
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let old = fig3_index();
+        let mut d = GraphDelta::new();
+        // Dirty both components so there are two shards to schedule.
+        d.upsert(
+            g.query_by_name("camera").unwrap(),
+            g.ad_by_name("hp.com").unwrap(),
+            EdgeData::from_clicks(9),
+        );
+        d.upsert(
+            g.query_by_name("flower").unwrap(),
+            g.ad_by_name("orchids.com").unwrap(),
+            EdgeData::from_clicks(2),
+        );
+        let g2 = d.apply(&g);
+        let dirty = d.dirty_components(&g2);
+        let (serial, s_stats) = old
+            .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), None)
+            .unwrap();
+        let par_cfg = cfg.with_threads(4);
+        let (parallel, p_stats) = old
+            .rebuild_incremental(&g2, &dirty, &par_cfg, &RewriterConfig::default(), None)
+            .unwrap();
+        assert_eq!(s_stats, p_stats);
+        assert_eq!(serial.offsets, parallel.offsets);
+        assert_eq!(serial.targets, parallel.targets);
+        assert_eq!(serial.scores, parallel.scores);
     }
 
     #[test]

@@ -10,14 +10,20 @@
 //!   its final top-5 rewrites, built in parallel with the engine's chunked
 //!   scoped-thread workers. Single and batched lookups return borrowed
 //!   slices: zero allocation on the hot path.
+//!   [`RewriteIndex::rebuild_incremental`] refreshes only the dirty
+//!   queries' rows after a click-graph delta, copying clean rows verbatim.
 //! * [`snapshot`] — versioned, checksummed binary persistence plus
 //!   serde-JSON, so an index is built once and loaded by server processes.
+//! * [`swap`] — a hand-rolled `ArcSwap`-style [`AtomicHandle`] so a new
+//!   index generation hot-swaps in while requests keep being answered.
 //! * [`server`] — the stdin/stdout line protocol (`rewrite <query>`,
-//!   `batch <file>`) spoken by the `serve` binary.
+//!   `batch <file>`, `update <delta.tsv>`) spoken by the `serve` binary.
 
 pub mod index;
 pub mod server;
 pub mod snapshot;
+pub mod swap;
 
-pub use index::{IndexMeta, RewriteIndex, RewriteSet};
-pub use server::serve_lines;
+pub use index::{IndexMeta, RebuildStats, RewriteIndex, RewriteSet};
+pub use server::{serve_lines, serve_session, ServeState, UpdateContext};
+pub use swap::AtomicHandle;

@@ -5,6 +5,12 @@
 //! * `rewrite <query>` — serve the precomputed rewrites of one query;
 //! * `batch <path>` — serve every query listed in `<path>` (one per line,
 //!   blank lines and `#` comments skipped), then a `done` summary;
+//! * `update <delta.tsv>` — apply a click-graph delta
+//!   (`simrankpp_graph::delta::read_delta_tsv` format), rebuild only the
+//!   dirty queries' rows, and atomically hot-swap the new index generation
+//!   in — requests keep being answered throughout, each against one
+//!   consistent generation. Needs a server started with a live graph
+//!   ([`ServeState::updatable`], the binary's `run --graph` mode);
 //! * `quit` — clean shutdown (EOF works too).
 //!
 //! Responses are single tab-separated lines. TSV-loaded graphs cannot carry
@@ -18,12 +24,25 @@
 //! * `err\t<reason>\t<detail>` — unknown query / command / unreadable file;
 //! * `done\t<count>` — closes a `batch` response block (always emitted, even
 //!   when the batch file fails mid-read);
+//! * `updated\t<queries>\t<refreshed>\t<copied>\t<dirty>\t<clean>` —
+//!   acknowledges a hot-swapped `update` (totals, refreshed vs copied rows,
+//!   dirty vs clean components);
 //! * `bye` — acknowledges `quit`.
+//!
+//! Framing guarantee: responses are line-buffered and explicitly flushed
+//! after every request *and* on every exit path — EOF, `quit`, and mid-read
+//! I/O errors (a truncated stdin) — so the peer never observes a
+//! half-written response line.
 
 use crate::index::RewriteIndex;
+use crate::swap::AtomicHandle;
+use simrankpp_core::{RewriterConfig, SimrankConfig};
+use simrankpp_graph::delta::{apply_named, read_delta_tsv};
+use simrankpp_graph::ClickGraph;
 use std::borrow::Cow;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::sync::Mutex;
 
 /// Replaces frame-breaking characters in an echoed field; borrows (no
 /// allocation) in the normal tab-free case.
@@ -35,13 +54,88 @@ fn clean(field: &str) -> Cow<'_, str> {
     }
 }
 
+/// The graph-and-config context needed to serve `update` requests: the live
+/// click graph the index was built from, plus the build parameters an
+/// incremental rebuild must replay with.
+#[derive(Debug)]
+pub struct UpdateContext {
+    /// The current click-graph generation (replaced on each update).
+    pub graph: ClickGraph,
+    /// The similarity configuration the index was built with.
+    pub config: SimrankConfig,
+    /// The §9.3 pipeline parameters the index was built with.
+    pub rewriter: RewriterConfig,
+}
+
+/// A running server's shared state: the hot-swappable index handle plus the
+/// optional update context.
+#[derive(Debug)]
+pub struct ServeState {
+    index: AtomicHandle<RewriteIndex>,
+    update: Option<Mutex<UpdateContext>>,
+}
+
+impl ServeState {
+    /// A server over a frozen index (snapshot mode): `update` is refused.
+    pub fn fixed(index: RewriteIndex) -> ServeState {
+        ServeState {
+            index: AtomicHandle::new(index),
+            update: None,
+        }
+    }
+
+    /// A server that can apply deltas and hot-swap index generations.
+    pub fn updatable(index: RewriteIndex, ctx: UpdateContext) -> ServeState {
+        ServeState {
+            index: AtomicHandle::new(index),
+            update: Some(Mutex::new(ctx)),
+        }
+    }
+
+    /// The swappable index handle (for out-of-band readers and tests).
+    pub fn handle(&self) -> &AtomicHandle<RewriteIndex> {
+        &self.index
+    }
+
+    /// Applies a named-op delta read from `path`: rebuilds the dirty rows,
+    /// hot-swaps the new generation in, and advances the stored graph.
+    /// On error the previous generation keeps serving untouched.
+    pub fn apply_update(&self, path: &str) -> Result<crate::index::RebuildStats, String> {
+        let ctx = self
+            .update
+            .as_ref()
+            .ok_or("server was started without a live graph (snapshot mode)")?;
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let ops = read_delta_tsv(BufReader::new(file))
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        let mut ctx = ctx.lock().expect("update context poisoned");
+        let (new_graph, delta) = apply_named(&ctx.graph, &ops)?;
+        let dirty = delta.dirty_components(&new_graph);
+        let old = self.index.load();
+        let (next, stats) =
+            old.rebuild_incremental(&new_graph, &dirty, &ctx.config, &ctx.rewriter, None)?;
+        self.index.swap(next);
+        ctx.graph = new_graph;
+        Ok(stats)
+    }
+}
+
 /// Drives the line protocol over any reader/writer pair until EOF or `quit`.
-/// Output is flushed after every request so interactive pipes see responses
-/// immediately.
-pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W) -> io::Result<()> {
+/// Output is flushed after every request — and on every exit path, including
+/// mid-read I/O errors — so interactive pipes see responses immediately and
+/// a truncated stdin never leaves a half-written response line.
+pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W) -> io::Result<()> {
     let mut out = BufWriter::new(out);
     for line in input.lines() {
-        let line = line?;
+        // A truncated or failing stdin must still flush every complete
+        // response written so far before surfacing the error.
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                out.flush()?;
+                return Err(e);
+            }
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -51,10 +145,13 @@ pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W)
             None => (line, ""),
         };
         match cmd {
-            "rewrite" => respond(index, arg, &mut out)?,
+            "rewrite" => respond(&state.index.load(), arg, &mut out)?,
             "batch" => match File::open(arg) {
                 Err(e) => writeln!(out, "err\tcannot read batch file\t{}: {e}", clean(arg))?,
                 Ok(f) => {
+                    // One generation serves the whole batch: a mid-batch
+                    // hot swap cannot mix generations within the block.
+                    let index = state.index.load();
                     let mut served = 0usize;
                     for q in BufReader::new(f).lines() {
                         // A mid-file read error must not kill the serve loop
@@ -71,11 +168,23 @@ pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W)
                         if q.is_empty() || q.starts_with('#') {
                             continue;
                         }
-                        respond(index, q, &mut out)?;
+                        respond(&index, q, &mut out)?;
                         served += 1;
                     }
                     writeln!(out, "done\t{served}")?;
                 }
+            },
+            "update" => match state.apply_update(arg) {
+                Ok(s) => writeln!(
+                    out,
+                    "updated\t{}\t{}\t{}\t{}\t{}",
+                    s.refreshed_queries + s.copied_queries,
+                    s.refreshed_queries,
+                    s.copied_queries,
+                    s.n_dirty_components,
+                    s.n_clean_components
+                )?,
+                Err(e) => writeln!(out, "err\tupdate failed\t{}", clean(&e))?,
             },
             "quit" => {
                 writeln!(out, "bye")?;
@@ -87,6 +196,15 @@ pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W)
         out.flush()?;
     }
     out.flush()
+}
+
+/// [`serve_session`] over a frozen index — the historical entry point;
+/// `update` requests are refused. Clones the index once to seed the swap
+/// handle; callers holding an owned index (like the `serve` binary) should
+/// construct [`ServeState::fixed`] themselves and call [`serve_session`] to
+/// avoid the copy.
+pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W) -> io::Result<()> {
+    serve_session(&ServeState::fixed(index.clone()), input, out)
 }
 
 fn respond<W: Write>(index: &RewriteIndex, query: &str, out: &mut W) -> io::Result<()> {
@@ -195,6 +313,169 @@ mod tests {
             lines[0].split('\t').collect::<Vec<_>>(),
             vec!["err", "unknown query", "a b"]
         );
+    }
+
+    fn fig3_state() -> ServeState {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let method = Method::compute(MethodKind::WeightedSimrank, &g, &cfg);
+        let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+        let index = RewriteIndex::build(&rewriter, None, 1);
+        ServeState::updatable(
+            index,
+            UpdateContext {
+                graph: g,
+                config: cfg,
+                rewriter: RewriterConfig::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn update_verb_hot_swaps_and_changes_only_dirty_answers() {
+        let state = fig3_state();
+        let delta_path = std::env::temp_dir().join("simrankpp_serve_update_test.tsv");
+        // Boost pc→hp: the big component is dirty, flower's is not.
+        std::fs::write(&delta_path, "+\tpc\thp.com\t100\t80\t0.8\n").unwrap();
+
+        let mut before = Vec::new();
+        serve_session(
+            &state,
+            "rewrite camera\nrewrite flower\n".as_bytes(),
+            &mut before,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        serve_session(
+            &state,
+            format!(
+                "update {}\nrewrite camera\nrewrite flower\n",
+                delta_path.display()
+            )
+            .as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        std::fs::remove_file(&delta_path).ok();
+
+        let before = String::from_utf8(before).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let before: Vec<&str> = before.lines().collect();
+        let after: Vec<&str> = out.lines().collect();
+        // updated\t<queries>\t<refreshed>\t<copied>\t<dirty>\t<clean>
+        assert_eq!(
+            after[0].split('\t').collect::<Vec<_>>(),
+            vec!["updated", "5", "4", "1", "1", "1"]
+        );
+        assert_ne!(after[1], before[0], "dirty query's answer must change");
+        assert_eq!(after[2], before[1], "clean query's answer must not");
+    }
+
+    #[test]
+    fn update_verb_refused_without_live_graph_and_on_bad_delta() {
+        // Snapshot mode: no update context.
+        let out = run("update /no/such/delta.tsv\n");
+        assert!(out.starts_with("err\tupdate failed\t"), "{out}");
+
+        // Live graph, but unreadable delta: the old generation keeps serving.
+        let state = fig3_state();
+        let mut out = Vec::new();
+        serve_session(
+            &state,
+            "update /no/such/delta.tsv\nrewrite camera\n".as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("err\tupdate failed\t"));
+        assert!(lines[1].starts_with("ok\tcamera\t"));
+    }
+
+    /// A reader that yields `prefix` and then fails — a truncated stdin.
+    struct TruncatedInput<'a> {
+        prefix: &'a [u8],
+        pos: usize,
+    }
+
+    impl io::Read for TruncatedInput<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.prefix.len() {
+                let n = buf.len().min(self.prefix.len() - self.pos);
+                buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "stdin truncated",
+                ))
+            }
+        }
+    }
+
+    impl BufRead for TruncatedInput<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.pos < self.prefix.len() {
+                Ok(&self.prefix[self.pos..])
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "stdin truncated",
+                ))
+            }
+        }
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    /// A writer that only exposes bytes an explicit `flush` pushed through,
+    /// so the test observes exactly what a pipe's reader would see.
+    #[derive(Default)]
+    struct FlushTrackingWriter {
+        flushed: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+        pending: Vec<u8>,
+    }
+
+    impl Write for FlushTrackingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed.borrow_mut().extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn truncated_stdin_flushes_complete_lines_and_surfaces_the_error() {
+        // Two complete requests, then the input dies mid-stream. Every
+        // response served so far must reach the peer as complete lines —
+        // never a half-written `ok` — before the error surfaces.
+        let index = fig3_index();
+        let flushed = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let writer = FlushTrackingWriter {
+            flushed: flushed.clone(),
+            pending: Vec::new(),
+        };
+        let input = TruncatedInput {
+            prefix: b"rewrite camera\nrewrite pc\n",
+            pos: 0,
+        };
+        let err = serve_lines(&index, input, writer).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let seen = String::from_utf8(flushed.borrow().clone()).unwrap();
+        assert!(
+            seen.ends_with('\n'),
+            "flushed output ends mid-line: {seen:?}"
+        );
+        let lines: Vec<&str> = seen.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("ok\tcamera\t"));
+        assert!(lines[1].starts_with("ok\tpc\t"));
     }
 
     #[test]

@@ -4,11 +4,16 @@
 //!
 //! ```text
 //! magic "SRPPIDX\0" | version u32 | method u8 | max_rewrites u32 |
-//! bid_filtered u8 | has_names u8 | n_queries u32 | n_entries u64 |
-//! offsets (n_queries+1) × u32 | targets n_entries × u32 |
+//! bid_filtered u8 | has_names u8 | approx_sharding u8 | n_queries u32 |
+//! n_entries u64 | offsets (n_queries+1) × u32 | targets n_entries × u32 |
 //! scores n_entries × f64-bits | [n_names u32, (len u32, utf8 bytes)...] |
 //! checksum u64
 //! ```
+//!
+//! Version history: v2 added the `approx_sharding` flag (whether the index
+//! was built under an edge-cutting sharding regime, which blocks incremental
+//! refresh). v1 snapshots are refused with a rebuild hint — they are cheap
+//! build artifacts, not long-lived data.
 //!
 //! The trailing checksum is FNV-1a over every byte after the magic/version
 //! prefix, so truncation and bit-rot are detected before
@@ -23,7 +28,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 8] = *b"SRPPIDX\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Longest name accepted on read; anything larger indicates corruption
 /// rather than a real query string.
@@ -44,7 +49,11 @@ impl RewriteIndex {
 
         w.write_all(&[kind_to_u8(self.meta.method)])?;
         w.write_all(&self.meta.max_rewrites.to_le_bytes())?;
-        w.write_all(&[self.meta.bid_filtered as u8, self.names.is_some() as u8])?;
+        w.write_all(&[
+            self.meta.bid_filtered as u8,
+            self.names.is_some() as u8,
+            self.meta.approx_sharding as u8,
+        ])?;
         w.write_all(&self.n_queries.to_le_bytes())?;
         w.write_all(&(self.targets.len() as u64).to_le_bytes())?;
         for &o in &self.offsets {
@@ -80,7 +89,8 @@ impl RewriteIndex {
         let version = u32::from_le_bytes(read_array(&mut r.inner)?);
         if version != VERSION {
             return Err(corrupt(&format!(
-                "unsupported snapshot version {version} (expected {VERSION})"
+                "unsupported snapshot version {version} (expected {VERSION}; \
+                 rebuild the snapshot with `serve build`)"
             )));
         }
 
@@ -89,6 +99,7 @@ impl RewriteIndex {
         let max_rewrites = u32::from_le_bytes(read_array(&mut r)?);
         let bid_filtered = read_u8(&mut r)? != 0;
         let has_names = read_u8(&mut r)? != 0;
+        let approx_sharding = read_u8(&mut r)? != 0;
         let n_queries = u32::from_le_bytes(read_array(&mut r)?);
         let n_entries = u64::from_le_bytes(read_array(&mut r)?) as usize;
 
@@ -138,6 +149,7 @@ impl RewriteIndex {
                 method,
                 max_rewrites,
                 bid_filtered,
+                approx_sharding,
             },
             n_queries,
             offsets,
@@ -271,6 +283,15 @@ mod tests {
         let mut buf = Vec::new();
         index.write_snapshot(&mut buf).unwrap();
         RewriteIndex::read_snapshot(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn approx_sharding_flag_survives_roundtrip() {
+        let mut index = fig3_index(MethodKind::Simrank);
+        index.set_approx_sharding(true);
+        let loaded = roundtrip(&index);
+        assert!(loaded.meta().approx_sharding);
+        assert_eq!(loaded.meta(), index.meta());
     }
 
     #[test]

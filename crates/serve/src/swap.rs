@@ -1,0 +1,98 @@
+//! Hand-rolled `ArcSwap`-style atomic handle for zero-downtime index swaps.
+//!
+//! The serving loop must keep answering while an incremental rebuild
+//! installs a new index generation. [`AtomicHandle`] holds the current
+//! generation behind an `Arc`; readers [`load`](AtomicHandle::load) a clone
+//! of the `Arc` (a refcount bump under a briefly-held mutex — nanoseconds,
+//! never blocked by a rebuild, which happens entirely *outside* the handle)
+//! and keep serving from that generation for as long as they hold it, while
+//! [`swap`](AtomicHandle::swap) atomically publishes the next generation.
+//! An in-flight request therefore always sees one consistent generation —
+//! never a half-written index — and the old generation is freed when its
+//! last reader drops it.
+//!
+//! This is the standard-library equivalent of the `arc-swap` crate's
+//! happy path (vendoring policy: no new dependencies). The mutex makes
+//! `load` a few nanoseconds slower than a true lock-free `ArcSwap`, which
+//! is invisible next to the microsecond-scale protocol I/O per request.
+
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable shared handle to an immutable value.
+#[derive(Debug)]
+pub struct AtomicHandle<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> AtomicHandle<T> {
+    /// Wraps the initial generation.
+    pub fn new(value: T) -> Self {
+        AtomicHandle {
+            slot: Mutex::new(Arc::new(value)),
+        }
+    }
+
+    /// As [`AtomicHandle::new`] from an already-shared value.
+    pub fn from_arc(value: Arc<T>) -> Self {
+        AtomicHandle {
+            slot: Mutex::new(value),
+        }
+    }
+
+    /// The current generation. The returned `Arc` stays valid (and keeps
+    /// serving its generation) across any number of concurrent swaps.
+    pub fn load(&self) -> Arc<T> {
+        self.slot.lock().expect("handle poisoned").clone()
+    }
+
+    /// Publishes `next` as the current generation, returning the previous
+    /// one (which lives until its last outstanding reader drops it).
+    pub fn swap(&self, next: T) -> Arc<T> {
+        self.swap_arc(Arc::new(next))
+    }
+
+    /// As [`AtomicHandle::swap`] with an already-shared next generation.
+    pub fn swap_arc(&self, next: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut *self.slot.lock().expect("handle poisoned"), next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_swap_generations() {
+        let h = AtomicHandle::new(1u64);
+        let g1 = h.load();
+        let old = h.swap(2);
+        assert_eq!(*old, 1);
+        assert_eq!(*g1, 1, "outstanding reader keeps the old generation");
+        assert_eq!(*h.load(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_whole_generation() {
+        // Generations are (n, n): a reader observing a torn value would see
+        // mismatched halves. Swaps run concurrently with the readers.
+        let h = AtomicHandle::new((0u64, 0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        let g = h.load();
+                        assert_eq!(g.0, g.1, "torn generation observed");
+                    }
+                });
+            }
+            s.spawn(|| {
+                for n in 1..=1_000u64 {
+                    h.swap((n, n));
+                }
+            });
+        });
+        let last = h.load();
+        assert_eq!(last.0, last.1);
+        assert_eq!(last.0, 1_000);
+    }
+}

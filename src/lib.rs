@@ -8,14 +8,14 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`graph`] | the §2 weighted bipartite click graph (CSR storage, builders, fixtures, I/O) |
+//! | [`graph`] | the §2 weighted bipartite click graph (CSR storage, builders, fixtures, I/O), plus incremental [`GraphDelta`](graph::GraphDelta) batches with dirty-component analysis |
 //! | [`core`] | SimRank (§4), evidence-based SimRank (§7), weighted SimRank (§8), Pearson baseline (§9.1), the rewriting front-end (Fig. 2), Monte-Carlo estimation, hybrid text+click scoring |
 //! | [`core::engine`](simrankpp_core::engine) | the unified sparse propagation kernel the recursive variants run on: a `Transition` trait for the per-edge walk factor (uniform §4 / weighted §8.2), flat sorted-pair accumulation, shared chunked parallelism, threshold pruning, per-iteration `pair_counts`/max-delta diagnostics, and `SimrankConfig::tolerance` early exit |
 //! | [`partition`] | PageRank, Andersen–Chung–Lang push + sweep cuts, five-subgraph extraction (§9.2) |
 //! | [`text`] | Porter stemmer, query normalization, stem-dedup (§9.3) |
 //! | [`synth`] | synthetic click-graph generator, position-bias click model, simulated editorial judge (Table 6), bids, traffic sampling, click-spam injection |
 //! | [`eval`] | §9.4 metrics: coverage, 11-pt precision/recall, P@X, depth bands, desirability prediction (Figures 8–12) |
-//! | [`serve`] | the online half of Fig. 2: precomputed top-k [`RewriteIndex`](serve::RewriteIndex), versioned binary/JSON snapshots, line-protocol `serve` binary |
+//! | [`serve`] | the online half of Fig. 2: precomputed top-k [`RewriteIndex`](serve::RewriteIndex), versioned binary/JSON snapshots, incremental rebuilds hot-swapped through an `ArcSwap`-style handle, line-protocol `serve` binary |
 //! | [`util`] | fast hashing, top-k selection, online statistics |
 //!
 //! Engine convergence knobs on [`SimrankConfig`](prelude::SimrankConfig):
