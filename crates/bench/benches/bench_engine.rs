@@ -1,9 +1,9 @@
-//! Flat sorted-pair accumulation vs the historical hash-map path, and
-//! component-sharded vs monolithic propagation.
+//! Pull SpGEMM kernel vs flat sorted-pair accumulation vs the historical
+//! hash-map path, and component-sharded vs monolithic propagation.
 //!
-//! Both accumulation paths share the same transition factors and chunked
-//! parallelism — the only difference is how per-iteration pair
-//! contributions are accumulated — so the first groups isolate the
+//! All kernels share the same transition factors and chunked parallelism —
+//! the only difference is how per-iteration pair contributions are
+//! accumulated — so the first groups isolate the
 //! accumulation strategy on a 10k-query synthetic graph. The sharded group
 //! compares `engine::run` against `engine::run_with_strategy(Components)`
 //! (decomposition cost included) on two 10k-query shapes: the standard
@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simrankpp_core::engine::{self, reference, UniformTransition, WeightedTransition};
 use simrankpp_core::weighted::SpreadMode;
-use simrankpp_core::{ShardStrategy, SimrankConfig};
+use simrankpp_core::{KernelKind, ShardStrategy, SimrankConfig};
 use simrankpp_graph::{AdId, ClickGraph, ClickGraphBuilder, QueryId, WeightKind};
 use simrankpp_synth::generator::{generate, GeneratorConfig, SynthDataset};
 
@@ -56,10 +56,16 @@ fn accumulation(c: &mut Criterion) {
         .with_iterations(5)
         .with_prune_threshold(1e-4);
 
+    let cfg_pull = cfg.with_kernel(KernelKind::Pull);
+    let cfg_flat = cfg.with_kernel(KernelKind::Flat);
+
     let mut group = c.benchmark_group("engine_10k");
     group.sample_size(10);
+    group.bench_function("pull_uniform", |b| {
+        b.iter(|| engine::run(&dataset.graph, &cfg_pull, &UniformTransition))
+    });
     group.bench_function("flat_uniform", |b| {
-        b.iter(|| engine::run(&dataset.graph, &cfg, &UniformTransition))
+        b.iter(|| engine::run(&dataset.graph, &cfg_flat, &UniformTransition))
     });
     group.bench_function("hashmap_uniform", |b| {
         b.iter(|| reference::run_hashmap(&dataset.graph, &cfg, &UniformTransition))
@@ -68,8 +74,11 @@ fn accumulation(c: &mut Criterion) {
         kind: WeightKind::ExpectedClickRate,
         spread: SpreadMode::Exponential,
     };
+    group.bench_function("pull_weighted", |b| {
+        b.iter(|| engine::run(&dataset.graph, &cfg_pull, &weighted))
+    });
     group.bench_function("flat_weighted", |b| {
-        b.iter(|| engine::run(&dataset.graph, &cfg, &weighted))
+        b.iter(|| engine::run(&dataset.graph, &cfg_flat, &weighted))
     });
     group.bench_function("hashmap_weighted", |b| {
         b.iter(|| reference::run_hashmap(&dataset.graph, &cfg, &weighted))
@@ -124,7 +133,11 @@ fn threads(c: &mut Criterion) {
             .with_iterations(5)
             .with_prune_threshold(1e-4)
             .with_threads(t);
-        group.bench_with_input(BenchmarkId::new("flat_uniform", t), &cfg, |b, cfg| {
+        group.bench_with_input(BenchmarkId::new("pull_uniform", t), &cfg, |b, cfg| {
+            b.iter(|| engine::run(&dataset.graph, cfg, &UniformTransition))
+        });
+        let flat = cfg.with_kernel(KernelKind::Flat);
+        group.bench_with_input(BenchmarkId::new("flat_uniform", t), &flat, |b, cfg| {
             b.iter(|| engine::run(&dataset.graph, cfg, &UniformTransition))
         });
     }

@@ -13,7 +13,10 @@
 //! * the incremental series must show a single-dirty-component update at
 //!   least 5× faster than a full recompute on the multi-component
 //!   10k-query federated graph — the number the incremental engine exists
-//!   to deliver.
+//!   to deliver;
+//! * two machine-relative kernel ratios must hold on the runner itself:
+//!   the pull kernel ≥ 1.3× the flat accumulator (both transitions), and
+//!   the flat accumulator ≥ 1.2× the hash-map reference.
 //!
 //! ```text
 //! bench_ci [--quick] [--out-dir DIR] [--check] [--baseline-dir DIR]
@@ -27,7 +30,9 @@
 
 use simrankpp_core::engine::{self, reference, UniformTransition, WeightedTransition};
 use simrankpp_core::weighted::SpreadMode;
-use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, ShardStrategy, SimrankConfig};
+use simrankpp_core::{
+    KernelKind, Method, MethodKind, Rewriter, RewriterConfig, ShardStrategy, SimrankConfig,
+};
 use simrankpp_graph::{
     AdId, ClickGraph, ClickGraphBuilder, EdgeData, GraphDelta, QueryId, WeightKind,
 };
@@ -46,9 +51,12 @@ struct Options {
 }
 
 /// Engine series whose absolute time is gated against the committed
-/// baseline. Accumulation and sharded-stitch throughput are the two hot
-/// paths every workload funnels through.
-const GATED_ENGINE_KEYS: [&str; 3] = [
+/// baseline. The pull kernel is the production path every workload funnels
+/// through; the flat series stay gated as the oracle's own regression
+/// canary, and the sharded series covers stitch throughput.
+const GATED_ENGINE_KEYS: [&str; 5] = [
+    "engine_10k/pull_uniform",
+    "engine_10k/pull_weighted",
     "engine_10k/flat_uniform",
     "engine_10k/flat_weighted",
     "engine_10k_sharded/components/federated8",
@@ -62,6 +70,12 @@ const MIN_INCREMENTAL_SPEEDUP: f64 = 5.0;
 /// ratio is computed on the runner itself, so it catches accumulation-path
 /// regressions machine-independently. Historically ~1.7–1.8×.
 const MIN_FLAT_VS_HASHMAP: f64 = 1.2;
+
+/// Floor on pull-vs-flat kernel speedup, machine-relative like the
+/// flat-vs-hashmap gate. ISSUE 5 lands the pull kernel at ~2× on the
+/// headline series; 1.3× leaves room for runner noise while still failing
+/// if the pull path ever regresses toward the flat path.
+const MIN_PULL_VS_FLAT: f64 = 1.3;
 
 fn main() {
     let mut opts = Options {
@@ -217,19 +231,33 @@ fn engine_series(opts: &Options, reps: usize) -> (BTreeMap<String, f64>, BTreeMa
         spread: SpreadMode::Exponential,
     };
 
-    eprintln!("engine: accumulation series (10k standard graph)");
+    eprintln!("engine: kernel series (10k standard graph)");
     let standard = ten_k_graph();
+    let cfg_pull = cfg.with_kernel(KernelKind::Pull);
+    let cfg_flat = cfg.with_kernel(KernelKind::Flat);
+    r.insert(
+        "engine_10k/pull_uniform".to_owned(),
+        median_ms(reps, || {
+            engine::run(&standard, &cfg_pull, &UniformTransition)
+        }),
+    );
+    r.insert(
+        "engine_10k/pull_weighted".to_owned(),
+        median_ms(reps, || engine::run(&standard, &cfg_pull, &weighted)),
+    );
     r.insert(
         "engine_10k/flat_uniform".to_owned(),
-        median_ms(reps, || engine::run(&standard, &cfg, &UniformTransition)),
+        median_ms(reps, || {
+            engine::run(&standard, &cfg_flat, &UniformTransition)
+        }),
     );
     r.insert(
         "engine_10k/flat_weighted".to_owned(),
-        median_ms(reps, || engine::run(&standard, &cfg, &weighted)),
+        median_ms(reps, || engine::run(&standard, &cfg_flat, &weighted)),
     );
-    // The hash-map reference runs in quick mode too: flat-vs-hashmap is the
-    // machine-*relative* gate, immune to the committed baseline having been
-    // measured on different hardware.
+    // The hash-map reference runs in quick mode too: pull-vs-flat and
+    // flat-vs-hashmap are the machine-*relative* gates, immune to the
+    // committed baseline having been measured on different hardware.
     r.insert(
         "engine_10k/hashmap_uniform".to_owned(),
         median_ms(reps, || {
@@ -297,6 +325,14 @@ fn engine_series(opts: &Options, reps: usize) -> (BTreeMap<String, f64>, BTreeMa
 
     let mut speedups = BTreeMap::new();
     let ratio = |num: &str, den: &str, r: &BTreeMap<String, f64>| r[num] / r[den];
+    speedups.insert(
+        "pull_vs_flat_uniform".to_owned(),
+        ratio("engine_10k/flat_uniform", "engine_10k/pull_uniform", &r),
+    );
+    speedups.insert(
+        "pull_vs_flat_weighted".to_owned(),
+        ratio("engine_10k/flat_weighted", "engine_10k/pull_weighted", &r),
+    );
     speedups.insert(
         "flat_vs_hashmap_uniform".to_owned(),
         ratio("engine_10k/hashmap_uniform", "engine_10k/flat_uniform", &r),
@@ -429,6 +465,15 @@ fn check(
              (floor: {MIN_FLAT_VS_HASHMAP}x, machine-relative)"
         ));
     }
+    for side in ["uniform", "weighted"] {
+        let pull = engine_speedups[&format!("pull_vs_flat_{side}")];
+        if pull < MIN_PULL_VS_FLAT {
+            failures.push(format!(
+                "pull kernel ({side}) is only {pull:.2}x faster than the flat \
+                 accumulator (floor: {MIN_PULL_VS_FLAT}x, machine-relative)"
+            ));
+        }
+    }
 
     let baseline_path = format!("{}/BENCH_engine.json", opts.baseline_dir);
     let baseline = match std::fs::read_to_string(&baseline_path) {
@@ -513,18 +558,23 @@ fn render_engine_json(
     results: &BTreeMap<String, f64>,
     speedups: &BTreeMap<String, f64>,
 ) -> String {
+    let gate_keys = GATED_ENGINE_KEYS
+        .iter()
+        .map(|k| format!("\"{k}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\n  \"bench\": \"bench_ci (engine)\",\n  \"description\": \"Wall-clock medians for \
-         the engine's headline series on 10k-query synth graphs: flat vs hash-map accumulation \
-         (standard graph), component-sharded vs monolithic propagation (federated8 = disjoint \
-         union of 8 worlds) and incremental single-dirty-component update vs full recompute \
-         (federated16). 5 iterations, prune_threshold 1e-4; incremental deltas touch world 0 \
-         only.\",\n\
+         the engine's headline series on 10k-query synth graphs: pull vs flat vs hash-map \
+         kernels (standard graph), component-sharded vs monolithic propagation (federated8 = \
+         disjoint union of 8 worlds) and incremental single-dirty-component update vs full \
+         recompute (federated16). 5 iterations, prune_threshold 1e-4; sharded/incremental \
+         series run the default pull kernel; incremental deltas touch world 0 only.\",\n\
          {},\n  \"results_ms\": {{\n{}\n  }},\n  \"speedup\": {{\n{}\n  }},\n  \"gate\": {{\n    \
-         \"keys\": [\"engine_10k/flat_uniform\", \"engine_10k/flat_weighted\", \
-         \"engine_10k_sharded/components/federated8\"],\n    \"tolerance_pct\": {},\n    \
+         \"keys\": [{gate_keys}],\n    \"tolerance_pct\": {},\n    \
          \"min_incremental_speedup\": {MIN_INCREMENTAL_SPEEDUP},\n    \
-         \"min_flat_vs_hashmap_uniform\": {MIN_FLAT_VS_HASHMAP}\n  }}\n}}\n",
+         \"min_flat_vs_hashmap_uniform\": {MIN_FLAT_VS_HASHMAP},\n    \
+         \"min_pull_vs_flat\": {MIN_PULL_VS_FLAT}\n  }}\n}}\n",
         environment_json(opts),
         json_map(results, "    "),
         json_map(speedups, "    "),

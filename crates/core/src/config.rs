@@ -23,6 +23,25 @@ pub enum ShardStrategy {
     Extracted(usize),
 }
 
+/// Which accumulation kernel the unified engine runs each Jacobi half-step
+/// on (see `engine::pull` and `engine::accum`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Row-parallel pull kernel: the half-step as two Gustavson SpGEMM
+    /// passes over CSR score rows with a dense-scratch workspace — no
+    /// contribution buffers, no sort-merge, bit-deterministic for any
+    /// thread count. The default.
+    #[default]
+    Pull,
+    /// Flat scatter–sort–merge accumulation (the previous default): every
+    /// contribution materialized, sorted canonically, tournament-merged.
+    /// Kept as a cross-check oracle and for `bench_ci`'s ratio gates.
+    Flat,
+    /// Per-iteration hash-map accumulation (the historical engines' path).
+    /// Slowest; kept as the second independent oracle.
+    Hashmap,
+}
+
 /// Parameters shared by all SimRank variants.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimrankConfig {
@@ -52,6 +71,11 @@ pub struct SimrankConfig {
     /// still load.
     #[serde(default)]
     pub sharding: ShardStrategy,
+    /// Which accumulation kernel runs each Jacobi half-step. [`KernelKind::Pull`]
+    /// is the production path; `Flat` and `Hashmap` are the cross-check
+    /// oracles. Defaults on deserialize like `sharding`.
+    #[serde(default)]
+    pub kernel: KernelKind,
 }
 
 impl Default for SimrankConfig {
@@ -65,6 +89,7 @@ impl Default for SimrankConfig {
             weight_kind: WeightKind::ExpectedClickRate,
             threads: 1,
             sharding: ShardStrategy::Off,
+            kernel: KernelKind::Pull,
         }
     }
 }
@@ -115,6 +140,12 @@ impl SimrankConfig {
     /// Builder-style: set the shard strategy.
     pub fn with_sharding(mut self, sharding: ShardStrategy) -> Self {
         self.sharding = sharding;
+        self
+    }
+
+    /// Builder-style: set the accumulation kernel.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -247,6 +278,26 @@ mod tests {
         };
         let c: SimrankConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(c.sharding, ShardStrategy::Off);
+    }
+
+    #[test]
+    fn kernel_builder_defaults_to_pull_and_deserializes_legacy() {
+        let c = SimrankConfig::default();
+        assert_eq!(c.kernel, KernelKind::Pull);
+        assert_eq!(c.with_kernel(KernelKind::Flat).kernel, KernelKind::Flat);
+        // Configs persisted before the kernel knob existed must still load.
+        let json = serde_json::to_string(&SimrankConfig::default()).unwrap();
+        assert!(json.contains("kernel"));
+        let legacy = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            match &mut v {
+                serde_json::Value::Object(m) => m.remove("kernel"),
+                other => panic!("config must serialize to an object, got {}", other.kind()),
+            };
+            serde_json::to_string(&v).unwrap()
+        };
+        let c: SimrankConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(c.kernel, KernelKind::Pull);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! plain buffer; full buffers are sorted, duplicate-combined, and kept as
 //! independent sorted runs that a tournament merge combines at the end —
 //! sequential memory traffic throughout, and output already in the sorted
-//! order [`crate::scores::ScoreMatrix`] wants. `bench_engine` measures the
-//! two side by side.
+//! order [`crate::scores::ScoreMatrix`] wants. Since ISSUE 5 this is the
+//! `KernelKind::Flat` cross-check oracle: the production default is the
+//! sort-free pull kernel ([`super::pull`]), and `bench_engine`/`bench_ci`
+//! measure all three kernels side by side.
 
 use simrankpp_util::PairKey;
 
@@ -28,12 +30,28 @@ pub struct FlatAccumulator {
     runs: Vec<PairVec>,
     /// Raw contributions awaiting a flush.
     buf: PairVec,
+    /// Contributions added since construction or the last
+    /// [`Self::finish_reset`] — the next round's capacity hint.
+    added: usize,
 }
 
 impl FlatAccumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-reserves contribution-buffer capacity (capped at the flush
+    /// threshold — a larger buffer would flush before filling anyway).
+    pub fn reserve(&mut self, contributions: usize) {
+        let want = contributions.min(FLUSH_AT);
+        self.buf.reserve(want.saturating_sub(self.buf.len()));
+    }
+
+    /// Contributions added since construction or the last
+    /// [`Self::finish_reset`].
+    pub fn added(&self) -> usize {
+        self.added
     }
 
     /// Adds `delta` to the unordered pair `(a, b)`.
@@ -43,6 +61,7 @@ impl FlatAccumulator {
     #[inline]
     pub fn add(&mut self, a: u32, b: u32, delta: f64) {
         debug_assert_ne!(a, b, "diagonal scores are fixed at 1");
+        self.added += 1;
         self.buf.push((PairKey::new(a, b), delta));
         if self.buf.len() >= FLUSH_AT {
             self.flush();
@@ -70,8 +89,43 @@ impl FlatAccumulator {
 
     /// Finishes accumulation: sorted, duplicate-free pair scores.
     pub fn finish(mut self) -> PairVec {
+        self.finish_reset()
+    }
+
+    /// As [`Self::finish`], but leaves the accumulator reusable: the result
+    /// is returned, the contribution counter resets, and the (now empty)
+    /// internal vectors keep their capacity for the next round — the
+    /// workspace-pool path ([`FlatWorkspace`]) calls this every half-step.
+    pub fn finish_reset(&mut self) -> PairVec {
         self.flush();
-        merge_all(self.runs)
+        self.added = 0;
+        merge_all(std::mem::take(&mut self.runs))
+    }
+}
+
+/// A pooled flat-path worker workspace: the accumulator plus a contribution
+/// peak that pre-sizes the next round's buffer, so repeated half-steps stop
+/// paying growth reallocations. One per engine worker, threaded through
+/// `parallel::run_chunked_stateful` and reused across all iterations of a
+/// run.
+#[derive(Debug, Default)]
+pub struct FlatWorkspace {
+    /// The reusable accumulator.
+    pub acc: FlatAccumulator,
+    peak: usize,
+}
+
+impl FlatWorkspace {
+    /// Prepares the accumulator for a half-step, reserving the largest
+    /// contribution count any previous half-step produced.
+    pub fn start(&mut self) {
+        self.acc.reserve(self.peak);
+    }
+
+    /// Finishes the half-step, recording the contribution peak.
+    pub fn finish(&mut self) -> PairVec {
+        self.peak = self.peak.max(self.acc.added());
+        self.acc.finish_reset()
     }
 }
 
@@ -273,6 +327,22 @@ mod tests {
         assert!(v.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()));
         let total: f64 = v.iter().map(|&(_, s)| s).sum();
         assert_eq!(total, 3.0 * (FLUSH_AT as f64 / 2.0));
+    }
+
+    #[test]
+    fn workspace_finish_reset_is_reusable_and_tracks_peak() {
+        let mut ws = FlatWorkspace::default();
+        for round in 0..3 {
+            ws.start();
+            ws.acc.add(0, 1, 1.0);
+            ws.acc.add(1, 2, 0.5);
+            ws.acc.add(2, 1, 0.5);
+            let v = ws.finish();
+            assert_eq!(v.len(), 2, "round {round}");
+            assert_eq!(v[1], (PairKey::new(1, 2), 1.0));
+            assert_eq!(ws.acc.added(), 0, "counter resets");
+        }
+        assert_eq!(ws.peak, 3);
     }
 
     #[test]

@@ -15,14 +15,20 @@
 //!
 //! * [`Transition`] abstracts the per-edge walk factor ([`UniformTransition`],
 //!   [`WeightedTransition`]); new variants only supply factor tables.
-//! * [`run`] drives the shared kernel: each iteration propagates every stored
-//!   ad-pair score to the query pairs it supports (and vice versa), using a
-//!   **flat sorted-pair accumulator** ([`accum::FlatAccumulator`]) instead of
-//!   a per-iteration hash-map rebuild — contributions are appended to a
-//!   buffer, sorted, and merge-combined, which is allocation-lean and
-//!   cache-friendly.
+//! * [`run`] drives the shared kernel behind a
+//!   [`crate::config::KernelKind`] knob. The default **pull kernel**
+//!   ([`pull`]) computes each half-step as two row-parallel Gustavson
+//!   SpGEMM passes over CSR score rows (`S' = c·F·S·Fᵀ` with unit
+//!   diagonal): no contribution buffers, no sorting, no cross-worker
+//!   merging, and bit-deterministic for any thread count. The previous
+//!   **flat sorted-pair accumulator** ([`accum::FlatAccumulator`]) and the
+//!   historical **hash-map** path stay selectable as independent
+//!   cross-check oracles.
 //! * [`parallel::run_chunked`] supplies chunked scoped-thread parallelism for
-//!   every variant (previously each engine carried its own copy).
+//!   every variant (previously each engine carried its own copy), and the
+//!   `_stateful` variants thread a reusable per-worker workspace pool
+//!   through it, so scratch survives across Jacobi half-steps and — in the
+//!   sharded engine — across shards.
 //! * Per-iteration diagnostics — stored pair counts and the max score delta —
 //!   are recorded for *all* variants, and [`crate::SimrankConfig::tolerance`]
 //!   enables early exit once the iteration becomes stationary.
@@ -45,6 +51,7 @@
 pub mod accum;
 pub mod incremental;
 pub mod parallel;
+pub mod pull;
 pub mod reference;
 pub mod sharded;
 pub mod transition;
@@ -53,9 +60,9 @@ pub use incremental::{run_incremental, IncrementalRun};
 pub use sharded::run_sharded;
 pub use transition::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
 
-use crate::config::{ShardStrategy, SimrankConfig};
+use crate::config::{KernelKind, ShardStrategy, SimrankConfig};
 use crate::scores::ScoreMatrix;
-use accum::{max_delta, FlatAccumulator, PairVec};
+use accum::{max_delta, FlatAccumulator, FlatWorkspace, PairVec};
 use simrankpp_graph::{AdId, ClickGraph, QueryId};
 
 /// Output of one engine run: frozen score matrices plus the per-iteration
@@ -130,11 +137,53 @@ pub fn run<T: Transition>(g: &ClickGraph, config: &SimrankConfig, transition: &T
     }
 }
 
+/// Reusable per-run kernel scratch: one workspace per worker (plus, for the
+/// pull kernel, the shared iterate-CSR buffers). Created once per engine run
+/// and threaded through every Jacobi half-step, so no kernel allocates
+/// per-iteration scratch; the sharded engine goes further and reuses one
+/// scratch per queue worker across *all* its shards.
+#[derive(Debug)]
+pub(crate) struct EngineScratch {
+    pull: Vec<pull::PullWorkspace>,
+    csr: pull::CsrScratch,
+    flat: Vec<FlatWorkspace>,
+}
+
+impl EngineScratch {
+    pub(crate) fn new(kernel: KernelKind, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (n_pull, n_flat) = match kernel {
+            KernelKind::Pull => (threads, 0),
+            KernelKind::Flat => (0, threads),
+            KernelKind::Hashmap => (0, 0),
+        };
+        EngineScratch {
+            pull: (0..n_pull)
+                .map(|_| pull::PullWorkspace::default())
+                .collect(),
+            csr: pull::CsrScratch::default(),
+            flat: (0..n_flat).map(|_| FlatWorkspace::default()).collect(),
+        }
+    }
+}
+
 /// [`run`] without the final freeze — the sharded engine's per-shard entry.
 pub(crate) fn run_raw<T: Transition>(
     g: &ClickGraph,
     config: &SimrankConfig,
     transition: &T,
+) -> RawRun {
+    let mut scratch = EngineScratch::new(config.kernel, config.effective_threads());
+    run_raw_with(g, config, transition, &mut scratch)
+}
+
+/// [`run_raw`] against caller-owned [`EngineScratch`], so a worker draining
+/// a shard queue reuses its workspaces across every shard it claims.
+pub(crate) fn run_raw_with<T: Transition>(
+    g: &ClickGraph,
+    config: &SimrankConfig,
+    transition: &T,
+    scratch: &mut EngineScratch,
 ) -> RawRun {
     config.validate().expect("invalid SimRank configuration");
     let factors = transition.factors(g);
@@ -146,32 +195,93 @@ pub(crate) fn run_raw<T: Transition>(
     let mut max_deltas = Vec::with_capacity(config.iterations);
     let mut converged = false;
 
+    // The four CSR row views the kernels walk. The scatter kernels (flat,
+    // hashmap) stream *source* rows with source-major factors; the pull
+    // kernel walks the *output* node's own row in pass 1 (output-major
+    // factors) and scatters through inner rows in pass 2 (inner-major).
+    let ad_row_qfac = |a: u32| {
+        let (qs, _) = g.queries_of(AdId(a));
+        let lo = g.ad_csr_offset(AdId(a));
+        (qs, &factors.ad_to_query[lo..lo + qs.len()])
+    };
+    let query_row_afac = |q: u32| {
+        let (ads, _) = g.ads_of(QueryId(q));
+        let lo = g.query_csr_offset(QueryId(q));
+        (ads, &factors.query_to_ad[lo..lo + ads.len()])
+    };
+    let query_row_qfac = |q: u32| {
+        let (ads, _) = g.ads_of(QueryId(q));
+        let lo = g.query_csr_offset(QueryId(q));
+        (ads, &factors.ad_to_query_by_query[lo..lo + ads.len()])
+    };
+    let ad_row_afac = |a: u32| {
+        let (qs, _) = g.queries_of(AdId(a));
+        let lo = g.ad_csr_offset(AdId(a));
+        (qs, &factors.query_to_ad_by_ad[lo..lo + qs.len()])
+    };
+
     for _ in 0..config.iterations {
         // Jacobi: both sides advance from the *previous* iterate.
-        let next_q = propagate(
-            g.n_ads(),
-            |a| {
-                let (qs, _) = g.queries_of(AdId(a));
-                let lo = g.ad_csr_offset(AdId(a));
-                (qs, &factors.ad_to_query[lo..lo + qs.len()])
-            },
-            &a_pairs,
-            config.c1,
-            config.prune_threshold,
-            threads,
-        );
-        let next_a = propagate(
-            g.n_queries(),
-            |q| {
-                let (ads, _) = g.ads_of(QueryId(q));
-                let lo = g.query_csr_offset(QueryId(q));
-                (ads, &factors.query_to_ad[lo..lo + ads.len()])
-            },
-            &q_pairs,
-            config.c2,
-            config.prune_threshold,
-            threads,
-        );
+        let next_q = match config.kernel {
+            KernelKind::Pull => pull::propagate_pull(
+                g.n_queries(),
+                g.n_ads(),
+                query_row_qfac,
+                ad_row_qfac,
+                &a_pairs,
+                config.c1,
+                config.prune_threshold,
+                &mut scratch.csr,
+                &mut scratch.pull,
+            ),
+            KernelKind::Flat => propagate(
+                g.n_ads(),
+                ad_row_qfac,
+                &a_pairs,
+                config.c1,
+                config.prune_threshold,
+                &mut scratch.flat,
+            ),
+            KernelKind::Hashmap => reference::propagate_hashmap_sorted(
+                g.n_queries(),
+                g.n_ads(),
+                ad_row_qfac,
+                &a_pairs,
+                config.c1,
+                config.prune_threshold,
+                threads,
+            ),
+        };
+        let next_a = match config.kernel {
+            KernelKind::Pull => pull::propagate_pull(
+                g.n_ads(),
+                g.n_queries(),
+                ad_row_afac,
+                query_row_afac,
+                &q_pairs,
+                config.c2,
+                config.prune_threshold,
+                &mut scratch.csr,
+                &mut scratch.pull,
+            ),
+            KernelKind::Flat => propagate(
+                g.n_queries(),
+                query_row_afac,
+                &q_pairs,
+                config.c2,
+                config.prune_threshold,
+                &mut scratch.flat,
+            ),
+            KernelKind::Hashmap => reference::propagate_hashmap_sorted(
+                g.n_ads(),
+                g.n_queries(),
+                query_row_afac,
+                &q_pairs,
+                config.c2,
+                config.prune_threshold,
+                threads,
+            ),
+        };
 
         let delta = max_delta(&q_pairs, &next_q).max(max_delta(&a_pairs, &next_a));
         q_pairs = next_q;
@@ -287,7 +397,7 @@ pub(crate) fn scatter_chunk<'g, I, RowFn, S>(
     }
 }
 
-/// One Jacobi half-step on the flat path: scatter into per-chunk
+/// One Jacobi half-step on the flat path: scatter into per-worker pooled
 /// [`FlatAccumulator`]s, merge, then scale by the decay `c` and prune.
 pub(crate) fn propagate<'g, I, RowFn>(
     n_sources: usize,
@@ -295,16 +405,16 @@ pub(crate) fn propagate<'g, I, RowFn>(
     prev: &PairVec,
     c: f64,
     prune_threshold: f64,
-    threads: usize,
+    workspaces: &mut [FlatWorkspace],
 ) -> PairVec
 where
     I: NodeId + 'g,
     RowFn: Fn(u32) -> (&'g [I], &'g [f64]) + Sync,
 {
-    let pieces = parallel::run_chunked(prev.len() + n_sources, threads, |range| {
-        let mut acc = FlatAccumulator::new();
-        scatter_chunk(range, prev, &row, &mut acc);
-        acc.finish()
+    let pieces = parallel::run_chunked_stateful(prev.len() + n_sources, workspaces, |ws, range| {
+        ws.start();
+        scatter_chunk(range, prev, &row, &mut ws.acc);
+        ws.finish()
     });
     let merged = accum::merge_all(pieces);
     accum::scale_prune(merged, c, prune_threshold)

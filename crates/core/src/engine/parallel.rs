@@ -27,18 +27,37 @@ where
     } else {
         threads
     };
+    let mut states = vec![(); threads.max(1)];
+    run_chunked_stateful(n_items, &mut states, |_, range| work(range))
+}
+
+/// [`run_chunked`] with one reusable per-worker state: chunk `t` runs with
+/// exclusive access to `states[t]`, so a workspace pool allocated once by
+/// the caller survives across every call (the engine reuses scratch across
+/// Jacobi half-steps this way). `states.len()` fixes the worker count;
+/// results come back in chunk order.
+pub fn run_chunked_stateful<S, T, F>(n_items: usize, states: &mut [S], work: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, Range<usize>) -> T + Sync,
+{
+    let threads = states.len();
     if threads <= 1 || n_items < PARALLEL_THRESHOLD {
-        return vec![work(0..n_items)];
+        let state = states.first_mut().expect("at least one worker state");
+        return vec![work(state, 0..n_items)];
     }
     let threads = threads.min(n_items);
     let chunk = n_items.div_ceil(threads);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
+        let handles: Vec<_> = states[..threads]
+            .iter_mut()
+            .enumerate()
+            .map(|(t, state)| {
                 let lo = (t * chunk).min(n_items);
                 let hi = ((t + 1) * chunk).min(n_items);
                 let work = &work;
-                scope.spawn(move || work(lo..hi))
+                scope.spawn(move || work(state, lo..hi))
             })
             .collect();
         handles
@@ -60,14 +79,32 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let mut states = vec![(); workers.max(1)];
+    run_indexed_stateful(n_items, &mut states, |_, i| work(i))
+}
+
+/// [`run_indexed`] with one reusable per-worker state: each queue worker
+/// owns one slot of `states` for its whole drain, so scratch built for the
+/// first item it claims is reused for every later item (the sharded engine
+/// threads its kernel workspaces through here). `states.len()` fixes the
+/// worker count; results still come back in index order.
+pub fn run_indexed_stateful<S, T, F>(n_items: usize, states: &mut [S], work: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = states.len();
     if workers <= 1 || n_items <= 1 {
-        return (0..n_items).map(work).collect();
+        let state = states.first_mut().expect("at least one worker state");
+        return (0..n_items).map(|i| work(state, i)).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
     let finished: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(n_items))
-            .map(|_| {
+        let handles: Vec<_> = states[..workers.min(n_items)]
+            .iter_mut()
+            .map(|state| {
                 let next = &next;
                 let work = &work;
                 scope.spawn(move || {
@@ -77,7 +114,7 @@ where
                         if i >= n_items {
                             break;
                         }
-                        out.push((i, work(i)));
+                        out.push((i, work(state, i)));
                     }
                     out
                 })
@@ -122,5 +159,33 @@ mod tests {
     fn chunks_are_ordered() {
         let pieces = run_chunked(4096, 4, |r| r.start);
         assert!(pieces.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn stateful_chunked_reuses_worker_state_across_calls() {
+        let mut states = vec![0usize; 3];
+        for round in 1..=2 {
+            let out = run_chunked_stateful(6000, &mut states, |s, r| {
+                *s += r.len();
+                r.len()
+            });
+            assert_eq!(out.iter().sum::<usize>(), 6000);
+            assert_eq!(states.iter().sum::<usize>(), 6000 * round);
+        }
+    }
+
+    #[test]
+    fn stateful_indexed_orders_results_and_persists_state() {
+        for workers in [1usize, 2, 5] {
+            let mut states = vec![0usize; workers];
+            let out = run_indexed_stateful(17, &mut states, |s, i| {
+                *s += 1;
+                i * 2
+            });
+            assert_eq!(out, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(states.iter().sum::<usize>(), 17, "workers={workers}");
+        }
+        let mut states = vec![(); 4];
+        assert!(run_indexed_stateful(0, &mut states, |_, i| i).is_empty());
     }
 }

@@ -1,0 +1,350 @@
+//! Row-parallel pull propagation: the Jacobi half-step as two Gustavson
+//! SpGEMM passes over CSR score rows.
+//!
+//! The half-step is the matrix recurrence (query side shown; the ad side is
+//! the mirror image):
+//!
+//! ```text
+//! S_Q' = C1 · P · S_A · Pᵀ        P[q, a] = F(q, a) on click edges,
+//! ```
+//!
+//! with `S_A` the ad-side iterate carrying an implicit unit diagonal — the
+//! linearized form "Efficient SimRank Computation via Linearization"
+//! (Maehara et al.) computes with, specialized to the bipartite click graph.
+//! Instead of scattering every `F(t,i)·F(t',j)·s(i,j)` contribution into a
+//! flat buffer and paying a sort plus a tournament merge per half-step
+//! ([`super::accum`]), each **output row** `q` is *pulled* in two fused
+//! Gustavson passes against a per-worker dense scratch:
+//!
+//! 1. `T[q, ·] = Σ_{a ∈ E(q)} F(q, a) · S_A[a, ·]` — scan `q`'s own
+//!    neighbor list in CSR order, stream each neighbor's (sorted) score row
+//!    into a dense accumulator over the inner side, tracking touched
+//!    columns in first-touch order;
+//! 2. `S_Q'[q, q'] = C1 · Σ_{a'} T[q, a'] · F(q', a')` — drain the touched
+//!    columns, scattering each through the inner node's neighbor list into
+//!    a dense accumulator over the output side, restricted to `q' > q`
+//!    (the symmetric half above the diagonal; `q' < q` is produced by row
+//!    `q'`, the diagonal is pinned at 1).
+//!
+//! No contribution is ever materialized, so there is nothing to sort or
+//! merge: the only ordering work left is a per-row `sort_unstable` of the
+//! *distinct* touched output ids — `O(r log r)` on row width, versus the
+//! flat path's `O(m log m)` over the full duplicate-heavy contribution
+//! stream. Emitted rows concatenate into a key-sorted [`PairVec`] directly
+//! (`PairKey` is min-major and every emitted pair has `q` as its minimum).
+//!
+//! **Determinism.** Each output row is computed start-to-finish by exactly
+//! one worker, and every accumulation order inside a row is a function of
+//! CSR neighbor order alone — never of chunk boundaries, flush thresholds,
+//! or surrounding elements. Consequences the differential suites pin down:
+//!
+//! * thread-count invariance: any worker count produces bit-identical
+//!   iterates (the flat path only guarantees this serially);
+//! * sharded == monolithic and incremental == from-scratch stay
+//!   **bit-identical at any scale**: a component shard's monotone remap
+//!   preserves CSR neighbor order, so each row replays the identical
+//!   floating-point op sequence. The flat path's guarantee degraded to
+//!   "equal modulo rounding" above its 2²⁰-contribution flush threshold,
+//!   because run boundaries could reassociate a pair's partial sums; the
+//!   pull kernel has no flush, so that divergence is gone.
+
+use super::accum::PairVec;
+use super::{parallel, NodeId};
+use crate::scores::fill_sym_csr;
+use simrankpp_util::PairKey;
+
+/// Reusable buffers for the previous iterate's symmetric CSR form, rebuilt
+/// once per half-step (a counting pass over the pair list) and shared
+/// read-only by every worker.
+#[derive(Debug, Default)]
+pub struct CsrScratch {
+    offsets: Vec<usize>,
+    cursor: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrScratch {
+    /// Rebuilds the CSR view of `pairs` over `n` inner-side nodes, reusing
+    /// the existing allocations.
+    pub fn rebuild(&mut self, n: usize, pairs: &[(PairKey, f64)]) {
+        fill_sym_csr(
+            n,
+            pairs,
+            &mut self.offsets,
+            &mut self.cursor,
+            &mut self.cols,
+            &mut self.vals,
+        );
+    }
+
+    /// Node `a`'s score row: ascending partner ids and their scores
+    /// (diagonal implicit).
+    #[inline]
+    fn row(&self, a: u32) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.offsets[a as usize], self.offsets[a as usize + 1]);
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+}
+
+/// One worker's dense-scratch workspace: a sparse-accumulator (value array +
+/// first-touch flags + touched list) per SpGEMM pass. Sized lazily to the
+/// two node counts, kept zeroed between rows by draining touched entries,
+/// and reused across every half-step of a run — allocation-free steady
+/// state.
+#[derive(Debug, Default)]
+pub struct PullWorkspace {
+    /// Pass-1 accumulator over the inner side (`T[q, ·]`).
+    t_vals: Vec<f64>,
+    t_flag: Vec<bool>,
+    t_touched: Vec<u32>,
+    /// Pass-2 accumulator over the output side (`S'[q, ·]`, upper half).
+    o_vals: Vec<f64>,
+    o_flag: Vec<bool>,
+    o_touched: Vec<u32>,
+    /// Largest per-chunk output seen — the next round's capacity hint.
+    out_hint: usize,
+}
+
+impl PullWorkspace {
+    fn ensure(&mut self, n_out: usize, n_inner: usize) {
+        if self.t_vals.len() < n_inner {
+            self.t_vals.resize(n_inner, 0.0);
+            self.t_flag.resize(n_inner, false);
+        }
+        if self.o_vals.len() < n_out {
+            self.o_vals.resize(n_out, 0.0);
+            self.o_flag.resize(n_out, false);
+        }
+    }
+}
+
+/// Marks `id` touched on first contact and accumulates `v` into its cell.
+#[inline(always)]
+fn spa_add(vals: &mut [f64], flag: &mut [bool], touched: &mut Vec<u32>, id: u32, v: f64) {
+    let i = id as usize;
+    if !flag[i] {
+        flag[i] = true;
+        touched.push(id);
+    }
+    vals[i] += v;
+}
+
+/// One Jacobi half-step on the pull path.
+///
+/// `out_row(x)` is output node `x`'s neighbor list with the matching
+/// `F(x, inner)` factors (output-major); `inner_row(y)` is inner node `y`'s
+/// neighbor list with the matching `F(out', y)` factors (inner-major).
+/// `prev` is the inner side's iterate. Output rows are partitioned into one
+/// contiguous block per workspace; each block concatenates, in row order,
+/// into the returned key-sorted, pruned, `c`-scaled pair list.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn propagate_pull<'g, I, J, OutRow, InnerRow>(
+    n_out: usize,
+    n_inner: usize,
+    out_row: OutRow,
+    inner_row: InnerRow,
+    prev: &PairVec,
+    c: f64,
+    prune_threshold: f64,
+    csr: &mut CsrScratch,
+    workspaces: &mut [PullWorkspace],
+) -> PairVec
+where
+    I: NodeId + 'g,
+    J: NodeId + 'g,
+    OutRow: Fn(u32) -> (&'g [I], &'g [f64]) + Sync,
+    InnerRow: Fn(u32) -> (&'g [J], &'g [f64]) + Sync,
+{
+    csr.rebuild(n_inner, prev);
+    let csr = &*csr;
+    let mut pieces = parallel::run_chunked_stateful(n_out, workspaces, |ws, range| {
+        ws.ensure(n_out, n_inner);
+        let mut out: PairVec = Vec::with_capacity(ws.out_hint);
+        for q in range {
+            pull_row(
+                q as u32,
+                &out_row,
+                &inner_row,
+                csr,
+                c,
+                prune_threshold,
+                ws,
+                &mut out,
+            );
+        }
+        ws.out_hint = ws.out_hint.max(out.len());
+        out
+    });
+    if pieces.len() == 1 {
+        return pieces.pop().expect("one piece");
+    }
+    let mut merged = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for piece in pieces {
+        merged.extend_from_slice(&piece);
+    }
+    merged
+}
+
+/// Computes one output row (both fused passes) and appends its surviving
+/// entries — `(PairKey(q, q'), score)` for `q' > q`, ascending — to `out`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pull_row<'g, I, J, OutRow, InnerRow>(
+    q: u32,
+    out_row: &OutRow,
+    inner_row: &InnerRow,
+    csr: &CsrScratch,
+    c: f64,
+    prune_threshold: f64,
+    ws: &mut PullWorkspace,
+    out: &mut PairVec,
+) where
+    I: NodeId + 'g,
+    J: NodeId + 'g,
+    OutRow: Fn(u32) -> (&'g [I], &'g [f64]),
+    InnerRow: Fn(u32) -> (&'g [J], &'g [f64]),
+{
+    let (inner, f_out) = out_row(q);
+    if inner.is_empty() {
+        return;
+    }
+    let PullWorkspace {
+        t_vals,
+        t_flag,
+        t_touched,
+        o_vals,
+        o_flag,
+        o_touched,
+        ..
+    } = ws;
+
+    // Pass 1: T[q, ·] = Σ_{a ∈ E(q)} F(q, a) · S[a, ·], unit diagonal
+    // included. Scan order (E(q) outer, each score row inner, both in CSR
+    // order) fixes every cell's summation order.
+    for (x, a) in inner.iter().enumerate() {
+        let f = f_out[x];
+        spa_add(t_vals, t_flag, t_touched, a.raw(), f);
+        let (cols, vals) = csr.row(a.raw());
+        for (i, &col) in cols.iter().enumerate() {
+            spa_add(t_vals, t_flag, t_touched, col, f * vals[i]);
+        }
+    }
+
+    // Pass 2: drain T in first-touch order, scattering through each inner
+    // node's neighbor list restricted to q' > q.
+    for &a2 in t_touched.iter() {
+        let t = t_vals[a2 as usize];
+        t_vals[a2 as usize] = 0.0;
+        t_flag[a2 as usize] = false;
+        let (outs, f_in) = inner_row(a2);
+        let start = outs.partition_point(|x| x.raw() <= q);
+        for (y, o) in outs[start..].iter().enumerate() {
+            spa_add(o_vals, o_flag, o_touched, o.raw(), t * f_in[start + y]);
+        }
+    }
+    t_touched.clear();
+
+    // Emit: the only sort left, over the row's distinct partner ids.
+    o_touched.sort_unstable();
+    for &oid in o_touched.iter() {
+        let v = c * o_vals[oid as usize];
+        o_vals[oid as usize] = 0.0;
+        o_flag[oid as usize] = false;
+        if v > prune_threshold && v > 0.0 {
+            out.push((PairKey::new(q, oid), v));
+        }
+    }
+    o_touched.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelKind, SimrankConfig};
+    use crate::engine::{run, UniformTransition};
+    use simrankpp_graph::fixtures::{figure3_graph, figure4_k22};
+
+    fn cfg(k: usize, kernel: KernelKind) -> SimrankConfig {
+        SimrankConfig::default()
+            .with_iterations(k)
+            .with_kernel(kernel)
+    }
+
+    #[test]
+    fn csr_scratch_rebuild_reuses_and_resizes() {
+        let mut csr = CsrScratch::default();
+        let pairs = vec![(PairKey::new(0, 2), 0.5), (PairKey::new(1, 2), 0.25)];
+        csr.rebuild(3, &pairs);
+        assert_eq!(csr.row(2), (&[0u32, 1][..], &[0.5, 0.25][..]));
+        assert_eq!(csr.row(0), (&[2u32][..], &[0.5][..]));
+        // Shrinking rebuild must not leak the old rows.
+        csr.rebuild(2, &[(PairKey::new(0, 1), 1.0)]);
+        assert_eq!(csr.row(0), (&[1u32][..], &[1.0][..]));
+        assert_eq!(csr.row(1), (&[0u32][..], &[1.0][..]));
+        csr.rebuild(2, &[]);
+        assert!(csr.row(0).0.is_empty() && csr.row(1).0.is_empty());
+    }
+
+    #[test]
+    fn pull_reproduces_table3_exactly_like_flat() {
+        let g = figure4_k22();
+        let expected = [0.4, 0.56, 0.624, 0.6496, 0.65984, 0.663936, 0.6655744];
+        for (k, &want) in expected.iter().enumerate() {
+            let r = run(&g, &cfg(k + 1, KernelKind::Pull), &UniformTransition);
+            assert!(
+                (r.queries.get(0, 1) - want).abs() < 1e-9,
+                "iteration {}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn pull_rows_emit_sorted_pairs() {
+        let g = figure3_graph();
+        let r = run(&g, &cfg(5, KernelKind::Pull), &UniformTransition);
+        let pairs: Vec<_> = r.queries.sorted_pairs().to_vec();
+        assert!(!pairs.is_empty());
+        assert!(pairs.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()));
+    }
+
+    #[test]
+    fn workspace_stays_zeroed_between_rows() {
+        // After a full run every scratch cell must have been drained — a
+        // leaked cell would corrupt the next row (or the next half-step).
+        let g = figure3_graph();
+        let factors = crate::engine::Transition::factors(&UniformTransition, &g);
+        let mut csr = CsrScratch::default();
+        let mut ws = vec![PullWorkspace::default()];
+        let prev: PairVec = vec![(PairKey::new(0, 1), 0.5)];
+        for _ in 0..2 {
+            let _ = propagate_pull(
+                g.n_queries(),
+                g.n_ads(),
+                |q| {
+                    let q = simrankpp_graph::QueryId(q);
+                    let (ads, _) = g.ads_of(q);
+                    let lo = g.query_csr_offset(q);
+                    (ads, &factors.ad_to_query_by_query[lo..lo + ads.len()])
+                },
+                |a| {
+                    let a = simrankpp_graph::AdId(a);
+                    let (qs, _) = g.queries_of(a);
+                    let lo = g.ad_csr_offset(a);
+                    (qs, &factors.ad_to_query[lo..lo + qs.len()])
+                },
+                &prev,
+                0.8,
+                0.0,
+                &mut csr,
+                &mut ws,
+            );
+            assert!(ws[0].t_vals.iter().all(|&v| v == 0.0));
+            assert!(ws[0].o_vals.iter().all(|&v| v == 0.0));
+            assert!(ws[0].t_flag.iter().all(|&f| !f));
+            assert!(ws[0].o_flag.iter().all(|&f| !f));
+            assert!(ws[0].t_touched.is_empty() && ws[0].o_touched.is_empty());
+        }
+    }
+}

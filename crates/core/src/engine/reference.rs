@@ -1,9 +1,13 @@
 //! The historical hash-map accumulation path.
 //!
-//! Kept for two purposes: cross-checking the flat sorted-pair kernel (the
-//! two must agree to rounding), and the `bench_engine` comparison that
-//! documents why the flat path replaced it. Same factors, same chunked
-//! parallelism — only the accumulation strategy differs.
+//! Kept for two purposes: cross-checking the pull and flat kernels (all
+//! three must agree to rounding), and the `bench_engine`/`bench_ci`
+//! comparisons that document why they replaced it. Same factors, same
+//! chunked parallelism — only the accumulation strategy differs. Besides
+//! [`run_hashmap`], the same loop is reachable as a full engine kernel via
+//! `SimrankConfig::kernel = KernelKind::Hashmap`
+//! ([`propagate_hashmap_sorted`] adapts it to the engine's sorted-pair
+//! iterate format, diagnostics included).
 
 use super::parallel;
 use super::{NodeId, Transition};
@@ -73,6 +77,30 @@ pub fn run_hashmap<T: Transition>(
         queries: q_scores.build(),
         ads: a_scores.build(),
     }
+}
+
+/// [`propagate_hashmap`] adapted to the unified engine's iterate format:
+/// the accumulated builder drained into a key-sorted pair vector. This is
+/// the `KernelKind::Hashmap` oracle inside `run_raw`, giving the historical
+/// path the engine's diagnostics, sharding, and incremental plumbing for
+/// free.
+pub(crate) fn propagate_hashmap_sorted<'g, I, RowFn>(
+    n_targets: usize,
+    n_sources: usize,
+    row: RowFn,
+    prev: &[(PairKey, f64)],
+    c: f64,
+    prune_threshold: f64,
+    threads: usize,
+) -> Vec<(PairKey, f64)>
+where
+    I: NodeId + 'g,
+    RowFn: Fn(u32) -> (&'g [I], &'g [f64]) + Sync,
+{
+    let builder = propagate_hashmap(n_targets, n_sources, row, prev, c, prune_threshold, threads);
+    let mut pairs: Vec<(PairKey, f64)> = builder.iter().collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k.raw());
+    pairs
 }
 
 fn propagate_hashmap<'g, I, RowFn>(

@@ -26,11 +26,14 @@
 //!   local and components keep every incident edge);
 //! * the monotone id remap preserves CSR neighbor order, so a shard replays
 //!   the global contribution stream restricted to its component;
-//! * the flat accumulator sorts contributions canonically by
-//!   `(pair, value)`, so each pair's contributions are summed in the same
-//!   order in both runs — **bit-identical** scores, provided both runs are
-//!   serial and stay under the accumulator's flush threshold (beyond it,
-//!   run boundaries can reassociate sums; equality then holds to rounding);
+//! * the default pull kernel (`KernelKind::Pull`) fixes each output row's
+//!   accumulation order as a function of CSR neighbor order alone, which
+//!   the monotone remap preserves — **bit-identical** scores at any scale
+//!   and any thread count. The flat oracle (`KernelKind::Flat`) instead
+//!   sorts contributions canonically by `(pair, value)`, which is
+//!   bit-identical only while both runs are serial and stay under the
+//!   accumulator's flush threshold (beyond it, run boundaries can
+//!   reassociate sums; equality then holds to rounding);
 //! * `prune_threshold` is a per-pair decision on identical values, so
 //!   pruned runs decompose exactly too;
 //! * `tolerance > 0` early exit is the one knob that breaks equivalence:
@@ -41,7 +44,7 @@
 //! edges; see `simrankpp_partition::shard`.
 
 use super::accum::{merge_all_disjoint, PairVec};
-use super::{run_raw, EngineRun, RawRun, Transition};
+use super::{EngineRun, RawRun, Transition};
 use crate::config::SimrankConfig;
 use crate::scores::ScoreMatrix;
 use simrankpp_graph::{ClickGraph, Sharding};
@@ -181,6 +184,9 @@ pub(crate) fn aggregate_diagnostics(
 
 /// Runs the engine over every shard, pulling shard indices off an atomic
 /// queue with `workers` scoped threads; results come back in shard order.
+/// Each worker owns one [`super::EngineScratch`] for its whole drain, so
+/// kernel workspaces (dense pull scratch, flat buffers) are allocated once
+/// per worker, not once per shard.
 pub(crate) fn run_all<T: Transition>(
     sharding: &Sharding,
     config: &SimrankConfig,
@@ -188,8 +194,11 @@ pub(crate) fn run_all<T: Transition>(
     workers: usize,
 ) -> Vec<RawRun> {
     let shards = &sharding.shards;
-    super::parallel::run_indexed(shards.len(), workers, |i| {
-        run_raw(&shards[i].graph, config, transition)
+    let mut scratches: Vec<super::EngineScratch> = (0..workers.max(1))
+        .map(|_| super::EngineScratch::new(config.kernel, config.effective_threads()))
+        .collect();
+    super::parallel::run_indexed_stateful(shards.len(), &mut scratches, |scratch, i| {
+        super::run_raw_with(&shards[i].graph, config, transition, scratch)
     })
 }
 

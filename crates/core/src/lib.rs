@@ -46,7 +46,7 @@ pub mod scores;
 pub mod simrank;
 pub mod weighted;
 
-pub use config::{ShardStrategy, SimrankConfig};
+pub use config::{KernelKind, ShardStrategy, SimrankConfig};
 pub use engine::{
     run_incremental, IncrementalRun, Transition, TransitionFactors, UniformTransition,
     WeightedTransition,

@@ -11,7 +11,7 @@
 //! Figure 12 behaviour shows the underlying SimRank ordering taking over
 //! (evidence-based predicts exactly as plain SimRank there).
 
-use crate::config::SimrankConfig;
+use crate::config::{KernelKind, SimrankConfig};
 use crate::evidence::{evidence_simrank, EvidenceKind};
 use crate::naive::naive_scores;
 use crate::pearson::pearson_scores;
@@ -60,12 +60,15 @@ impl MethodKind {
 }
 
 /// A computed similarity method over one click graph: final (ranking) scores
-/// plus optional raw tie-break scores.
+/// plus optional raw tie-break scores, and the engine kernel that produced
+/// them (provenance — the serving layer refuses to mix kernels across an
+/// incremental refresh, since different kernels differ at rounding level).
 #[derive(Debug, Clone)]
 pub struct Method {
     kind: MethodKind,
     scores: ScoreMatrix,
     raw: Option<ScoreMatrix>,
+    kernel: KernelKind,
 }
 
 impl Method {
@@ -84,21 +87,25 @@ impl Method {
         config: &SimrankConfig,
         evidence: EvidenceKind,
     ) -> Method {
+        let kernel = config.kernel;
         match kind {
             MethodKind::Naive => Method {
                 kind,
                 scores: naive_scores(g),
                 raw: None,
+                kernel,
             },
             MethodKind::Pearson => Method {
                 kind,
                 scores: pearson_scores(g, config.weight_kind),
                 raw: None,
+                kernel,
             },
             MethodKind::Simrank => Method {
                 kind,
                 scores: simrank(g, config).queries,
                 raw: None,
+                kernel,
             },
             MethodKind::EvidenceSimrank => {
                 let r = evidence_simrank(g, config, evidence);
@@ -106,6 +113,7 @@ impl Method {
                     kind,
                     scores: r.queries,
                     raw: Some(r.raw.queries),
+                    kernel,
                 }
             }
             MethodKind::WeightedSimrank => {
@@ -114,20 +122,33 @@ impl Method {
                     kind,
                     scores: r.queries,
                     raw: Some(r.raw_queries),
+                    kernel,
                 }
             }
         }
     }
 
     /// Wraps precomputed matrices (used by the evaluation harness when the
-    /// same underlying computation serves several read-outs).
+    /// same underlying computation serves several read-outs). The kernel
+    /// provenance defaults to [`KernelKind::default`].
     pub fn from_scores(kind: MethodKind, scores: ScoreMatrix, raw: Option<ScoreMatrix>) -> Method {
-        Method { kind, scores, raw }
+        Method {
+            kind,
+            scores,
+            raw,
+            kernel: KernelKind::default(),
+        }
     }
 
     /// Which method this is.
     pub fn kind(&self) -> MethodKind {
         self.kind
+    }
+
+    /// Which engine kernel computed the scores (see
+    /// [`crate::config::KernelKind`]).
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The final (ranking) score matrix.
@@ -157,7 +178,7 @@ impl Method {
     /// `limit`.
     pub fn ranked_candidates(&self, q: QueryId, limit: usize) -> Vec<(QueryId, f64)> {
         let mut candidates: Vec<(u32, f64, f64)> = Vec::new();
-        for &(other, score) in self.scores.partners(q.0) {
+        for (other, score) in self.scores.partners(q.0) {
             let raw = self
                 .raw
                 .as_ref()
@@ -167,7 +188,7 @@ impl Method {
         }
         // Pairs visible only through the raw matrix (evidence zeroed them).
         if let Some(raw) = &self.raw {
-            for &(other, r) in raw.partners(q.0) {
+            for (other, r) in raw.partners(q.0) {
                 if self.scores.get(q.0, other) == 0.0 {
                     candidates.push((other, 0.0, r));
                 }

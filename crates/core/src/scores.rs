@@ -7,6 +7,62 @@
 
 use simrankpp_util::{FxHashMap, PairKey};
 
+/// Fills a flat symmetric CSR arena (`offsets`/`partners`/`scores`) from a
+/// key-sorted, duplicate-free pair list, reusing the caller's buffers.
+///
+/// One counting pass over `pairs` sizes every row, a prefix sum turns counts
+/// into offsets, and a placement pass scatters each pair into both endpoint
+/// rows. **Rows come out sorted without any per-row sort**: scanning pairs in
+/// `(min, max)` order, row `r` first receives its partners `< r` (one per
+/// `min`-block `m < r`, in ascending `m`) and then its partners `> r` (the
+/// `min == r` block, ascending `max`) — two ascending runs whose
+/// concatenation is ascending. This replaces the old per-node
+/// `Vec<Vec<(u32, f64)>>` push-then-sort construction and doubles as the
+/// per-half-step iterate CSR of the pull kernel (`engine::pull`).
+pub(crate) fn fill_sym_csr(
+    n: usize,
+    pairs: &[(PairKey, f64)],
+    offsets: &mut Vec<usize>,
+    cursor: &mut Vec<usize>,
+    partners: &mut Vec<u32>,
+    scores: &mut Vec<f64>,
+) {
+    debug_assert!(
+        pairs.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()),
+        "pairs must be strictly sorted by key"
+    );
+    offsets.clear();
+    offsets.resize(n + 1, 0);
+    for &(k, _) in pairs {
+        let (a, b) = k.parts();
+        offsets[a as usize + 1] += 1;
+        offsets[b as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let nnz = offsets[n];
+    partners.clear();
+    partners.resize(nnz, 0);
+    scores.clear();
+    scores.resize(nnz, 0.0);
+    cursor.clear();
+    cursor.extend_from_slice(&offsets[..n]);
+    for &(k, v) in pairs {
+        let (a, b) = k.parts();
+        let (ai, bi) = (a as usize, b as usize);
+        partners[cursor[ai]] = b;
+        scores[cursor[ai]] = v;
+        cursor[ai] += 1;
+        partners[cursor[bi]] = a;
+        scores[cursor[bi]] = v;
+        cursor[bi] += 1;
+    }
+    debug_assert!((0..n).all(|r| partners[offsets[r]..offsets[r + 1]]
+        .windows(2)
+        .all(|w| w[0] < w[1])));
+}
+
 /// Accumulating builder: an unordered-pair → score map.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreMatrixBuilder {
@@ -118,22 +174,7 @@ impl ScoreMatrixBuilder {
         let mut sorted: Vec<(PairKey, f64)> =
             self.entries.into_iter().filter(|&(_, v)| v > 0.0).collect();
         sorted.sort_unstable_by_key(|&(k, _)| k.raw());
-
-        let mut by_node: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.n];
-        for &(k, v) in &sorted {
-            let (a, b) = k.parts();
-            by_node[a as usize].push((b, v));
-            by_node[b as usize].push((a, v));
-        }
-        for row in &mut by_node {
-            row.sort_unstable_by_key(|&(other, _)| other);
-            row.shrink_to_fit();
-        }
-        ScoreMatrix {
-            n: self.n,
-            pairs: sorted,
-            by_node,
-        }
+        ScoreMatrix::from_sorted_pairs(self.n, sorted)
     }
 
     /// Read access during iteration: score of `(a, b)` with unit diagonal.
@@ -156,13 +197,23 @@ impl ScoreMatrixBuilder {
 }
 
 /// Frozen symmetric sparse score matrix with unit diagonal.
+///
+/// The per-node view is a flat CSR arena (`offsets`/`partners`/`scores`)
+/// rather than the historical `Vec<Vec<(u32, f64)>>`: one allocation per
+/// side instead of one per node, `O(1)` [`ScoreMatrix::row`] slice views,
+/// and the layout the pull kernel consumes directly.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreMatrix {
     n: usize,
     /// Off-diagonal pairs sorted by packed key; scores are strictly positive.
     pairs: Vec<(PairKey, f64)>,
-    /// Per-node view: `by_node[a]` = sorted `(other, score)`.
-    by_node: Vec<Vec<(u32, f64)>>,
+    /// Row bounds into `partners`/`scores`: node `a`'s row is
+    /// `offsets[a]..offsets[a + 1]`. Length `n + 1`.
+    offsets: Vec<usize>,
+    /// Partner ids, ascending within each row.
+    partners: Vec<u32>,
+    /// Scores aligned with `partners`.
+    scores: Vec<f64>,
 }
 
 impl ScoreMatrix {
@@ -171,33 +222,41 @@ impl ScoreMatrix {
         ScoreMatrix {
             n,
             pairs: Vec::new(),
-            by_node: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            partners: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
     /// Freezes an already key-sorted, duplicate-free pair list (the unified
     /// engine's iterate format) without the hash-map detour of
-    /// [`ScoreMatrixBuilder`]. Non-positive scores are dropped.
+    /// [`ScoreMatrixBuilder`]. Non-positive scores are dropped. The CSR
+    /// arena is built with a counting pass — no per-node pushes, no per-row
+    /// sorts (see [`fill_sym_csr`]).
     ///
     /// # Panics
     /// Debug builds panic if `pairs` is not strictly sorted by packed key.
     pub fn from_sorted_pairs(n: usize, mut pairs: Vec<(PairKey, f64)>) -> Self {
-        debug_assert!(
-            pairs.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()),
-            "pairs must be strictly sorted by key"
-        );
         pairs.retain(|&(_, v)| v > 0.0);
-        let mut by_node: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-        for &(k, v) in &pairs {
-            let (a, b) = k.parts();
-            by_node[a as usize].push((b, v));
-            by_node[b as usize].push((a, v));
+        let mut offsets = Vec::new();
+        let mut cursor = Vec::new();
+        let mut partners = Vec::new();
+        let mut scores = Vec::new();
+        fill_sym_csr(
+            n,
+            &pairs,
+            &mut offsets,
+            &mut cursor,
+            &mut partners,
+            &mut scores,
+        );
+        ScoreMatrix {
+            n,
+            pairs,
+            offsets,
+            partners,
+            scores,
         }
-        for row in &mut by_node {
-            row.sort_unstable_by_key(|&(other, _)| other);
-            row.shrink_to_fit();
-        }
-        ScoreMatrix { n, pairs, by_node }
     }
 
     /// Number of nodes on this side.
@@ -215,10 +274,8 @@ impl ScoreMatrix {
         if a == b {
             return 1.0;
         }
-        let row = &self.by_node[a as usize];
-        row.binary_search_by_key(&b, |&(other, _)| other)
-            .map(|i| row[i].1)
-            .unwrap_or(0.0)
+        let (ids, vals) = self.row(a);
+        ids.binary_search(&b).map(|i| vals[i]).unwrap_or(0.0)
     }
 
     /// The stored off-diagonal pairs in packed-key-sorted order — the
@@ -236,9 +293,18 @@ impl ScoreMatrix {
         })
     }
 
+    /// Node `a`'s row of the CSR arena as `O(1)` parallel slices:
+    /// ascending partner ids and their scores.
+    #[inline]
+    pub fn row(&self, a: u32) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.offsets[a as usize], self.offsets[a as usize + 1]);
+        (&self.partners[lo..hi], &self.scores[lo..hi])
+    }
+
     /// The stored partners of node `a` with their scores, ascending by id.
-    pub fn partners(&self, a: u32) -> &[(u32, f64)] {
-        &self.by_node[a as usize]
+    pub fn partners(&self, a: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (ids, vals) = self.row(a);
+        ids.iter().copied().zip(vals.iter().copied())
     }
 
     /// The `k` highest-scoring partners of `a` (descending score, ties by
@@ -259,12 +325,7 @@ impl ScoreMatrix {
         if k == 0 {
             return;
         }
-        out.extend(
-            self.by_node[a as usize]
-                .iter()
-                .copied()
-                .filter(|&(_, s)| !s.is_nan()),
-        );
+        out.extend(self.partners(a).filter(|&(_, s)| !s.is_nan()));
         let descending = |x: &(u32, f64), y: &(u32, f64)| {
             y.1.partial_cmp(&x.1)
                 .expect("NaN scores are filtered above")
@@ -437,7 +498,9 @@ mod tests {
         b.set(0, 1, 0.4);
         b.set(0, 2, 0.7);
         let mut m = b.build();
-        m.by_node[0][0].1 = f64::NAN; // partner id 1
+        let lo = m.offsets[0];
+        assert_eq!(m.partners[lo], 1);
+        m.scores[lo] = f64::NAN; // partner id 1 of node 0
         let mut buf = Vec::new();
         m.top_k_into(0, 3, &mut buf);
         assert_eq!(buf, vec![(2, 0.7)]);
@@ -463,8 +526,14 @@ mod tests {
         b.set(2, 3, 0.1);
         b.set(2, 1, 0.2);
         let m = b.build();
-        let ids: Vec<u32> = m.partners(2).iter().map(|&(i, _)| i).collect();
+        let ids: Vec<u32> = m.partners(2).map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0, 1, 3]);
+        let (row_ids, row_scores) = m.row(2);
+        assert_eq!(row_ids, &[0, 1, 3]);
+        assert_eq!(row_scores.len(), 3);
+        assert!((row_scores[0] - 0.3).abs() < 1e-12);
+        // Node 1's only partner is 2; its row is the matching O(1) slice.
+        assert_eq!(m.row(1).0, &[2]);
     }
 
     #[test]

@@ -252,7 +252,10 @@ fn update(args: &[String]) -> Result<(), String> {
     let t0 = Instant::now();
     let (new_graph, delta) = apply_named(&graph, &ops)?;
     let dirty = delta.dirty_components(&new_graph);
-    let config = serve_config(ShardStrategy::Components);
+    // Honor the snapshot's recorded engine kernel (like the method kind):
+    // a refresh must recompute dirty rows with the kernel that produced the
+    // clean rows it copies, or rebuild_incremental refuses the mix.
+    let config = serve_config(ShardStrategy::Components).with_kernel(index.meta().kernel);
     let (next, stats) = index.rebuild_incremental(
         &new_graph,
         &dirty,
@@ -306,6 +309,7 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("max rewrites    {}", index.meta().max_rewrites);
     println!("bid filtered    {}", index.meta().bid_filtered);
     println!("approx sharding {}", index.meta().approx_sharding);
+    println!("engine kernel   {:?}", index.meta().kernel);
     println!("queries         {}", index.n_queries());
     println!("rewrites        {}", index.n_entries());
     println!(

@@ -14,7 +14,7 @@
 //! cloned name interner answers `lookup("camera")` for the line protocol.
 
 use serde::{Deserialize, Serialize};
-use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
+use simrankpp_core::{KernelKind, Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
 use simrankpp_graph::{ClickGraph, DirtyComponents, Interner, QueryId, Sharding};
 use simrankpp_util::FxHashSet;
 
@@ -36,6 +36,17 @@ pub struct IndexMeta {
     /// Defaults to `false` (exact) for artifacts predating the field.
     #[serde(default)]
     pub approx_sharding: bool,
+    /// Which engine kernel computed the scores. Kernels agree only to f64
+    /// rounding, so an incremental refresh recomputing dirty rows with a
+    /// different kernel than the copied clean rows would silently mix
+    /// generations; [`RewriteIndex::rebuild_incremental`] refuses the
+    /// mismatch. Deliberately **not** serde-defaulted: an artifact without
+    /// the field predates the pull kernel and carries flat-kernel scores,
+    /// so defaulting to the current `KernelKind::default()` would
+    /// mis-attribute it — legacy artifacts are refused on load instead
+    /// (binary snapshots via the version check, JSON via the missing
+    /// field), matching the v1→v2 `approx_sharding` precedent.
+    pub kernel: KernelKind,
 }
 
 /// One recomputed row during an incremental rebuild: the global query index
@@ -130,6 +141,7 @@ impl RewriteIndex {
                 max_rewrites: rewriter.config().max_rewrites as u32,
                 bid_filtered: bid_terms.is_some(),
                 approx_sharding: false,
+                kernel: rewriter.method().kernel(),
             },
             n_queries: g.n_queries() as u32,
             offsets,
@@ -158,7 +170,8 @@ impl RewriteIndex {
     /// `config`/`rewriter_config`/`bid_terms` must match what built `self`
     /// (checked against `meta` where recorded: method family via
     /// `meta.method`, row cap via `meta.max_rewrites`, bid filtering via
-    /// `meta.bid_filtered`). Recursive methods assume the default
+    /// `meta.bid_filtered`, engine kernel via `meta.kernel`). Recursive
+    /// methods assume the default
     /// (geometric) evidence formula, as [`RewriteIndex::build`] callers use.
     ///
     /// Returns the next index generation plus the refresh accounting.
@@ -185,6 +198,15 @@ impl RewriteIndex {
                  per-component refresh would mix regimes — rebuild with `components`"
                     .into(),
             );
+        }
+        if config.kernel != self.meta.kernel {
+            return Err(format!(
+                "index was built with the {:?} engine kernel but the refresh config \
+                 selects {:?}: recomputed dirty rows would mix kernels (they agree \
+                 only to rounding) with copied clean rows — pass a matching \
+                 config.kernel or rebuild the index from scratch",
+                self.meta.kernel, config.kernel
+            ));
         }
         let old_n = self.n_queries();
         let new_n = new_graph.n_queries();
@@ -685,6 +707,20 @@ mod tests {
             .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), None)
             .unwrap_err();
         assert!(err.contains("approximate"), "{err}");
+        // Kernel mismatch: refreshing a flat-built index (e.g. a snapshot
+        // from before the pull kernel existed) with a pull config would mix
+        // kernels across copied and recomputed rows — refused, while the
+        // matching kernel succeeds.
+        let mut legacy = old.clone();
+        legacy.meta.kernel = simrankpp_core::KernelKind::Flat;
+        let err = legacy
+            .rebuild_incremental(&g2, &dirty, &cfg, &RewriterConfig::default(), None)
+            .unwrap_err();
+        assert!(err.contains("kernel"), "{err}");
+        let flat_cfg = cfg.with_kernel(simrankpp_core::KernelKind::Flat);
+        assert!(legacy
+            .rebuild_incremental(&g2, &dirty, &flat_cfg, &RewriterConfig::default(), None)
+            .is_ok());
     }
 
     #[test]

@@ -4,16 +4,18 @@
 //!
 //! ```text
 //! magic "SRPPIDX\0" | version u32 | method u8 | max_rewrites u32 |
-//! bid_filtered u8 | has_names u8 | approx_sharding u8 | n_queries u32 |
-//! n_entries u64 | offsets (n_queries+1) × u32 | targets n_entries × u32 |
-//! scores n_entries × f64-bits | [n_names u32, (len u32, utf8 bytes)...] |
-//! checksum u64
+//! bid_filtered u8 | has_names u8 | approx_sharding u8 | kernel u8 |
+//! n_queries u32 | n_entries u64 | offsets (n_queries+1) × u32 |
+//! targets n_entries × u32 | scores n_entries × f64-bits |
+//! [n_names u32, (len u32, utf8 bytes)...] | checksum u64
 //! ```
 //!
-//! Version history: v2 added the `approx_sharding` flag (whether the index
-//! was built under an edge-cutting sharding regime, which blocks incremental
-//! refresh). v1 snapshots are refused with a rebuild hint — they are cheap
-//! build artifacts, not long-lived data.
+//! Version history: v3 added the engine `kernel` byte (which accumulation
+//! kernel computed the scores — incremental refresh refuses to mix
+//! kernels); v2 added the `approx_sharding` flag (whether the index was
+//! built under an edge-cutting sharding regime, which blocks incremental
+//! refresh). Older versions are refused with a rebuild hint — snapshots are
+//! cheap build artifacts, not long-lived data.
 //!
 //! The trailing checksum is FNV-1a over every byte after the magic/version
 //! prefix, so truncation and bit-rot are detected before
@@ -21,14 +23,14 @@
 //! runs both.
 
 use crate::index::{IndexMeta, RewriteIndex};
-use simrankpp_core::MethodKind;
+use simrankpp_core::{KernelKind, MethodKind};
 use simrankpp_graph::Interner;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 8] = *b"SRPPIDX\0";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Longest name accepted on read; anything larger indicates corruption
 /// rather than a real query string.
@@ -53,6 +55,7 @@ impl RewriteIndex {
             self.meta.bid_filtered as u8,
             self.names.is_some() as u8,
             self.meta.approx_sharding as u8,
+            kernel_to_u8(self.meta.kernel),
         ])?;
         w.write_all(&self.n_queries.to_le_bytes())?;
         w.write_all(&(self.targets.len() as u64).to_le_bytes())?;
@@ -100,6 +103,8 @@ impl RewriteIndex {
         let bid_filtered = read_u8(&mut r)? != 0;
         let has_names = read_u8(&mut r)? != 0;
         let approx_sharding = read_u8(&mut r)? != 0;
+        let kernel = kernel_from_u8(read_u8(&mut r)?)
+            .ok_or_else(|| corrupt("unknown engine kernel in header"))?;
         let n_queries = u32::from_le_bytes(read_array(&mut r)?);
         let n_entries = u64::from_le_bytes(read_array(&mut r)?) as usize;
 
@@ -150,6 +155,7 @@ impl RewriteIndex {
                 max_rewrites,
                 bid_filtered,
                 approx_sharding,
+                kernel,
             },
             n_queries,
             offsets,
@@ -191,6 +197,23 @@ fn kind_from_u8(b: u8) -> Option<MethodKind> {
         2 => MethodKind::Simrank,
         3 => MethodKind::EvidenceSimrank,
         4 => MethodKind::WeightedSimrank,
+        _ => return None,
+    })
+}
+
+fn kernel_to_u8(kernel: KernelKind) -> u8 {
+    match kernel {
+        KernelKind::Pull => 0,
+        KernelKind::Flat => 1,
+        KernelKind::Hashmap => 2,
+    }
+}
+
+fn kernel_from_u8(b: u8) -> Option<KernelKind> {
+    Some(match b {
+        0 => KernelKind::Pull,
+        1 => KernelKind::Flat,
+        2 => KernelKind::Hashmap,
         _ => return None,
     })
 }
@@ -342,13 +365,34 @@ mod tests {
     fn absurd_entry_count_rejected_without_allocating() {
         // A corrupted n_entries header field (here u64::MAX) must come back
         // as Err, not as a capacity-overflow abort from a trusted
-        // with_capacity call. Bytes 23..31 are the n_entries field (after
-        // magic 8, version 4, method 1, max_rewrites 4, flags 2, n_queries 4).
+        // with_capacity call. Bytes 25..33 are the n_entries field (after
+        // magic 8, version 4, method 1, max_rewrites 4, flags 3, kernel 1,
+        // n_queries 4).
         let index = fig3_index(MethodKind::Simrank);
         let mut buf = Vec::new();
         index.write_snapshot(&mut buf).unwrap();
-        buf[23..31].fill(0xff);
+        buf[25..33].fill(0xff);
         assert!(RewriteIndex::read_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn kernel_provenance_survives_roundtrip_and_bad_byte_rejected() {
+        let index = fig3_index(MethodKind::Simrank);
+        // Built with the default config, so the recorded kernel is Pull.
+        assert_eq!(index.meta().kernel, KernelKind::Pull);
+        let loaded = roundtrip(&index);
+        assert_eq!(loaded.meta().kernel, KernelKind::Pull);
+        assert_eq!(loaded.meta(), index.meta());
+        // Byte 20 is the kernel byte (magic 8, version 4, method 1,
+        // max_rewrites 4, flags 3); an unknown value must be refused.
+        let mut buf = Vec::new();
+        index.write_snapshot(&mut buf).unwrap();
+        buf[20] = 99;
+        let err = RewriteIndex::read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("kernel") || err.to_string().contains("checksum"),
+            "{err}"
+        );
     }
 
     #[test]

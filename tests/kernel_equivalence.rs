@@ -1,0 +1,293 @@
+//! Differential harness for the engine's accumulation kernels.
+//!
+//! The unified engine runs one Jacobi loop behind three interchangeable
+//! kernels (`SimrankConfig::kernel`): the production **pull** kernel
+//! (row-parallel Gustavson SpGEMM, ISSUE 5), the **flat** scatter–sort–merge
+//! path it replaced, and the historical **hashmap** path. This suite pins
+//! the contracts between them:
+//!
+//! * all three kernels agree on every fixture — identical stored pair sets
+//!   and scores to rounding at `prune_threshold = 0` (summation *orders*
+//!   differ, so cross-kernel equality is to f64 rounding, not bits), for
+//!   uniform and weighted transitions;
+//! * with pruning the kernels agree on every co-stored pair, and any pair
+//!   set difference is confined to knife-edge values at the threshold
+//!   (a per-value `v > t` decision on values that differ only in rounding);
+//! * the pull kernel is **bit-deterministic across thread counts** — worker
+//!   chunk boundaries never touch a row's accumulation order;
+//! * pull == pull under sharding and incremental recompute, **bit for bit,
+//!   above the flat path's 2²⁰-contribution flush threshold** — the scale
+//!   where `engine::accum` documented that the flat path's sharded
+//!   guarantee degraded to "equal modulo rounding" because run boundaries
+//!   could reassociate partial sums. The pull kernel has no flush; this is
+//!   the regression test that the divergence is gone.
+
+use proptest::prelude::*;
+use simrankpp::core::engine::{self, UniformTransition, WeightedTransition};
+use simrankpp::core::weighted::SpreadMode;
+use simrankpp::core::{KernelKind, ScoreMatrix};
+use simrankpp::graph::delta::GraphDelta;
+use simrankpp::graph::Sharding;
+use simrankpp::prelude::*;
+use simrankpp::synth::generator::{generate, GeneratorConfig};
+
+fn synth_graph(n_topics: usize, n_queries: usize, seed: u64, dense: bool) -> ClickGraph {
+    let mut gen = GeneratorConfig::tiny().with_seed(seed);
+    gen.n_topics = n_topics;
+    gen.n_queries = n_queries;
+    gen.n_ads = (n_queries * 2 / 3).max(4);
+    gen.max_ads_per_query = if dense { 12 } else { 4 };
+    generate(&gen).graph
+}
+
+fn cfg(k: usize, kernel: KernelKind) -> SimrankConfig {
+    SimrankConfig::paper()
+        .with_iterations(k)
+        .with_weight_kind(WeightKind::Clicks)
+        .with_kernel(kernel)
+}
+
+fn assert_bit_identical(a: &ScoreMatrix, b: &ScoreMatrix, what: &str) {
+    assert_eq!(a.n_pairs(), b.n_pairs(), "{what}: pair count");
+    for ((a1, b1, v1), (a2, b2, v2)) in a.iter().zip(b.iter()) {
+        assert_eq!((a1, b1), (a2, b2), "{what}: pair set diverged");
+        assert_eq!(
+            v1.to_bits(),
+            v2.to_bits(),
+            "{what}: pair ({a1}, {b1}) drifted: {v1:e} vs {v2:e}"
+        );
+    }
+}
+
+/// Same pair set, scores equal to `tol` — the cross-kernel contract at
+/// `prune_threshold = 0`, where no knife-edge drops are possible.
+fn assert_same_support_close(a: &ScoreMatrix, b: &ScoreMatrix, tol: f64, what: &str) {
+    assert_eq!(a.n_pairs(), b.n_pairs(), "{what}: pair count");
+    for ((a1, b1, v1), (a2, b2, v2)) in a.iter().zip(b.iter()) {
+        assert_eq!((a1, b1), (a2, b2), "{what}: pair set diverged");
+        assert!(
+            (v1 - v2).abs() < tol,
+            "{what}: pair ({a1}, {b1}) drifted by {:e}",
+            (v1 - v2).abs()
+        );
+    }
+}
+
+/// With pruning, kernels may disagree only on knife-edge pairs: co-stored
+/// pairs match to `tol`, union-only pairs sit within rounding of the
+/// threshold itself.
+fn assert_close_modulo_prune(a: &ScoreMatrix, b: &ScoreMatrix, prune: f64, tol: f64, what: &str) {
+    for (x, y, v) in a.iter() {
+        let other = b.get(x, y);
+        if other == 0.0 {
+            assert!(
+                (v - prune).abs() < prune * 1e-9 + tol,
+                "{what}: pair ({x}, {y}) = {v:e} missing from other side, not knife-edge"
+            );
+        } else {
+            assert!((v - other).abs() < tol, "{what}: pair ({x}, {y}) drifted");
+        }
+    }
+    for (x, y, v) in b.iter() {
+        if a.get(x, y) == 0.0 {
+            assert!(
+                (v - prune).abs() < prune * 1e-9 + tol,
+                "{what}: pair ({x}, {y}) = {v:e} missing from other side, not knife-edge"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn all_three_kernels_agree_unpruned(
+        n_topics in 1usize..5,
+        n_queries in 30usize..110,
+        seed in 0u64..1_000_000,
+        dense_sel in 0u8..2,
+    ) {
+        let g = synth_graph(n_topics, n_queries, seed, dense_sel == 1);
+        let t = WeightedTransition { kind: WeightKind::Clicks, spread: SpreadMode::Exponential };
+        let runs: Vec<_> = [KernelKind::Pull, KernelKind::Flat, KernelKind::Hashmap]
+            .into_iter()
+            .map(|k| {
+                (
+                    engine::run(&g, &cfg(5, k), &UniformTransition),
+                    engine::run(&g, &cfg(5, k), &t),
+                )
+            })
+            .collect();
+        for (name, other) in [("flat", &runs[1]), ("hashmap", &runs[2])] {
+            assert_same_support_close(&runs[0].0.queries, &other.0.queries, 1e-12,
+                &format!("uniform queries vs {name}"));
+            assert_same_support_close(&runs[0].0.ads, &other.0.ads, 1e-12,
+                &format!("uniform ads vs {name}"));
+            assert_same_support_close(&runs[0].1.queries, &other.1.queries, 1e-12,
+                &format!("weighted queries vs {name}"));
+            prop_assert_eq!(&runs[0].0.pair_counts, &other.0.pair_counts);
+            prop_assert_eq!(runs[0].0.iterations_run, other.0.iterations_run);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_modulo_knife_edge_when_pruned(
+        n_queries in 40usize..120,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = synth_graph(3, n_queries, seed, true);
+        let prune = 1e-4;
+        let pull = engine::run(
+            &g, &cfg(6, KernelKind::Pull).with_prune_threshold(prune), &UniformTransition);
+        let flat = engine::run(
+            &g, &cfg(6, KernelKind::Flat).with_prune_threshold(prune), &UniformTransition);
+        assert_close_modulo_prune(&pull.queries, &flat.queries, prune, 1e-12, "pruned queries");
+        assert_close_modulo_prune(&pull.ads, &flat.ads, prune, 1e-12, "pruned ads");
+    }
+
+    #[test]
+    fn pull_is_bit_deterministic_across_thread_counts(
+        n_queries in 60usize..140,
+        seed in 0u64..1_000_000,
+        pruned_sel in 0u8..2,
+    ) {
+        let g = synth_graph(3, n_queries, seed, true);
+        let prune = if pruned_sel == 1 { 1e-5 } else { 0.0 };
+        let base = cfg(5, KernelKind::Pull).with_prune_threshold(prune);
+        let t = WeightedTransition { kind: WeightKind::Clicks, spread: SpreadMode::Exponential };
+        let serial_u = engine::run(&g, &base, &UniformTransition);
+        let serial_w = engine::run(&g, &base, &t);
+        for threads in [2usize, 5] {
+            let par_u = engine::run(&g, &base.with_threads(threads), &UniformTransition);
+            assert_bit_identical(&serial_u.queries, &par_u.queries, "uniform queries");
+            assert_bit_identical(&serial_u.ads, &par_u.ads, "uniform ads");
+            prop_assert_eq!(&serial_u.pair_counts, &par_u.pair_counts);
+            let par_w = engine::run(&g, &base.with_threads(threads), &t);
+            assert_bit_identical(&serial_w.queries, &par_w.queries, "weighted queries");
+        }
+    }
+
+    #[test]
+    fn pull_sharded_and_incremental_stay_bitwise(
+        n_topics in 2usize..5,
+        n_queries in 40usize..100,
+        seed in 0u64..1_000_000,
+    ) {
+        // The PR 3/4 guarantees restated explicitly for the pull kernel:
+        // sharded == monolithic and incremental == from-scratch, bit for
+        // bit (the dedicated suites exercise these paths in depth; this
+        // case pins them to KernelKind::Pull by construction).
+        let g = synth_graph(n_topics, n_queries, seed, false);
+        let c = cfg(5, KernelKind::Pull);
+        let mono = engine::run(&g, &c, &UniformTransition);
+        let sharding = Sharding::from_components(&g);
+        let shard = engine::run_sharded(&g, &c, &UniformTransition, &sharding);
+        assert_bit_identical(&mono.queries, &shard.queries, "sharded queries");
+        assert_bit_identical(&mono.ads, &shard.ads, "sharded ads");
+
+        let mut d = GraphDelta::new();
+        d.upsert(QueryId(0), AdId(1), EdgeData::from_clicks(3));
+        let g1 = d.apply(&g);
+        let dirty = d.dirty_components(&g1);
+        let inc = engine::run_incremental(
+            &g1, &c, &UniformTransition, &mono.queries, &mono.ads, &dirty);
+        let scratch = engine::run(&g1, &c, &UniformTransition);
+        assert_bit_identical(&inc.run.queries, &scratch.queries, "incremental queries");
+        assert_bit_identical(&inc.run.ads, &scratch.ads, "incremental ads");
+    }
+}
+
+/// Seeded multi-blob bipartite graph dense enough that one Jacobi half-step
+/// generates more scatter contributions than the flat accumulator's 2²⁰
+/// flush threshold.
+fn dense_blobs(blocks: u32, q_per: u32, a_per: u32, deg: u32, seed: u64) -> ClickGraph {
+    let mut b = ClickGraphBuilder::new();
+    let mut x = seed | 1;
+    for blk in 0..blocks {
+        let (qo, ao) = (blk * q_per, blk * a_per);
+        for q in 0..q_per {
+            for _ in 0..deg {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b.add_edge(
+                    QueryId(qo + q),
+                    AdId(ao + ((x >> 33) % a_per as u64) as u32),
+                    EdgeData::from_clicks(1 + (x % 7)),
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// Exact scatter-contribution count of the next query-side half-step:
+/// `Σ_{(i,j) stored ad pairs} N(i)·N(j) + Σ_i C(N(i), 2)` — what the flat
+/// kernel would have to buffer, sort, and merge.
+fn query_side_contributions(g: &ClickGraph, ads: &ScoreMatrix) -> usize {
+    let stored: usize = ads
+        .iter()
+        .map(|(i, j, _)| g.ad_degree(AdId(i)) * g.ad_degree(AdId(j)))
+        .sum();
+    let diagonal: usize = (0..g.n_ads())
+        .map(|a| {
+            let d = g.ad_degree(AdId(a as u32));
+            d * (d - 1) / 2
+        })
+        .sum();
+    stored + diagonal
+}
+
+#[test]
+fn pull_kernel_is_flush_order_free_above_the_old_flush_threshold() {
+    // Two components, each alone pushing a half-step past 2^20
+    // contributions — the regime where `engine::accum` documents that the
+    // flat path's run boundaries (which move with thread count and with
+    // shard extents) could reassociate a pair's partial sums, degrading
+    // sharded == monolithic to "equal modulo rounding". The pull kernel
+    // never materializes contributions, so chunking must change nothing:
+    // bit-identical across thread counts AND across the component stitch.
+    let g = dense_blobs(2, 220, 70, 12, 0xC0FFEE);
+    let c = SimrankConfig::paper()
+        .with_iterations(3)
+        .with_kernel(KernelKind::Pull);
+    let serial = engine::run(&g, &c, &UniformTransition);
+    assert!(
+        query_side_contributions(&g, &serial.ads) > 1 << 20,
+        "fixture must exceed the old FLUSH_AT scale, got {}",
+        query_side_contributions(&g, &serial.ads)
+    );
+
+    for threads in [3usize, 8] {
+        let par = engine::run(&g, &c.with_threads(threads), &UniformTransition);
+        assert_bit_identical(&serial.queries, &par.queries, "threads queries");
+        assert_bit_identical(&serial.ads, &par.ads, "threads ads");
+    }
+
+    let sharding = Sharding::from_components(&g);
+    assert!(sharding.n_shards() >= 2, "fixture must be multi-component");
+    let sharded = engine::run_sharded(&g, &c.with_threads(2), &UniformTransition, &sharding);
+    assert_bit_identical(&serial.queries, &sharded.queries, "sharded queries");
+    assert_bit_identical(&serial.ads, &sharded.ads, "sharded ads");
+}
+
+#[test]
+fn hashmap_kernel_runs_the_full_engine_surface() {
+    // The hashmap oracle is a real kernel, not a side path: diagnostics,
+    // early exit, and the sharded stitch all work through it.
+    let g = synth_graph(2, 50, 7, false);
+    let c = cfg(4, KernelKind::Hashmap);
+    let r = engine::run(&g, &c, &UniformTransition);
+    assert_eq!(r.pair_counts.len(), 4);
+    assert_eq!(r.max_deltas.len(), 4);
+    let sharding = Sharding::from_components(&g);
+    let s = engine::run_sharded(&g, &c, &UniformTransition, &sharding);
+    assert_bit_identical(&r.queries, &s.queries, "hashmap sharded queries");
+    let tol = engine::run(
+        &g,
+        &cfg(200, KernelKind::Hashmap).with_tolerance(1e-8),
+        &UniformTransition,
+    );
+    assert!(tol.converged);
+}
