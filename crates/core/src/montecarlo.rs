@@ -13,6 +13,10 @@
 //!   `p(α,i) = spread(i)·normalized_weight(α,i)` (walkers "die" with the
 //!   self-transition mass, matching the weighted equations where unmoved
 //!   walkers contribute nothing); unbiased for the raw weighted-walk score.
+//! * [`mc_topk_into`] — the single-source extension: top-k neighbors of one
+//!   query by simulating the source's walk trajectories *once* and coupling
+//!   every frontier candidate's walks against that shared batch, instead of
+//!   restarting the source per pair.
 //!
 //! The `ablation_montecarlo` bench sweeps walk counts against the exact
 //! engines.
@@ -21,10 +25,13 @@ use crate::config::SimrankConfig;
 use crate::weighted::TransitionWeights;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use simrankpp_graph::{ClickGraph, QueryId};
+use simrankpp_util::TopK;
 
-/// Monte-Carlo estimator parameters.
-#[derive(Debug, Clone, Copy)]
+/// Monte-Carlo estimator parameters. Serializable like [`SimrankConfig`] so
+/// estimator settings can be persisted alongside engine configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct McConfig {
     /// Number of simulated walk pairs.
     pub walks: usize,
@@ -39,7 +46,7 @@ impl Default for McConfig {
         McConfig {
             walks: 10_000,
             max_steps: 24,
-            seed: 0x51_4D_52_4B, // "SRNK"
+            seed: 0x51_4D_52_4B, // "QMRK"
         }
     }
 }
@@ -103,6 +110,128 @@ fn one_uniform_walk(
         }
     }
     0.0
+}
+
+/// Sentinel for a dead walker inside a recorded trajectory.
+const DEAD: u32 = u32::MAX;
+
+/// Batched-walk top-k: estimates `s(q, ·)` against every *frontier*
+/// candidate (queries sharing at least one ad with `q` — the 2-hop
+/// neighborhood where rewrite-worthy SimRank mass concentrates) and returns
+/// the `k` best into `out` (descending score, ties by ascending id).
+///
+/// Instead of rerunning [`mc_simrank_pair`] per candidate — which would
+/// resimulate the source's walks `|frontier|` times — the source's
+/// `mc.walks` trajectories are simulated once and recorded; each candidate
+/// then couples its own `r`-th walk against the source's `r`-th recorded
+/// trajectory. Per-pair estimates are unbiased (candidate walks are
+/// independent, seeded per candidate); only the *correlation between
+/// candidates* is shared, which top-k selection tolerates.
+pub fn mc_topk_into(
+    g: &ClickGraph,
+    q: QueryId,
+    k: usize,
+    config: &SimrankConfig,
+    mc: &McConfig,
+    out: &mut Vec<(QueryId, f64)>,
+) {
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    // Frontier: 2-hop neighbors, ascending, deduplicated, source excluded.
+    let mut frontier: Vec<QueryId> = Vec::new();
+    let (ads, _) = g.ads_of(q);
+    for &a in ads {
+        let (qs, _) = g.queries_of(a);
+        frontier.extend(qs.iter().copied().filter(|&w| w != q));
+    }
+    frontier.sort_unstable();
+    frontier.dedup();
+    if frontier.is_empty() {
+        return;
+    }
+
+    // Record the source's trajectories: position after step t (alternating
+    // sides, so both coupled walkers are always on the same side) at
+    // `traj[r * max_steps + t]`, DEAD once the walker hits a dead end.
+    let mut rng = SmallRng::seed_from_u64(mc.seed);
+    let mut traj = vec![DEAD; mc.walks * mc.max_steps];
+    for r in 0..mc.walks {
+        let mut pos = q.0;
+        let mut on_query_side = true;
+        for t in 0..mc.max_steps {
+            let next = if on_query_side {
+                let (na, _) = g.ads_of(QueryId(pos));
+                if na.is_empty() {
+                    break;
+                }
+                na[rng.gen_range(0..na.len())].0
+            } else {
+                let (nq, _) = g.queries_of(simrankpp_graph::AdId(pos));
+                if nq.is_empty() {
+                    break;
+                }
+                nq[rng.gen_range(0..nq.len())].0
+            };
+            pos = next;
+            traj[r * mc.max_steps + t] = pos;
+            on_query_side = !on_query_side;
+        }
+    }
+    // Decay accumulated up to and including step t: C1·C2·C1·…
+    let mut decay = Vec::with_capacity(mc.max_steps);
+    let mut f = 1.0f64;
+    for t in 0..mc.max_steps {
+        f *= if t % 2 == 0 { config.c1 } else { config.c2 };
+        decay.push(f);
+    }
+
+    let mut top = TopK::new(k);
+    for &cand in &frontier {
+        // Independent per-candidate stream; deterministic given `mc.seed`.
+        let mut crng =
+            SmallRng::seed_from_u64(mc.seed ^ (cand.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut total = 0.0f64;
+        for r in 0..mc.walks {
+            let steps = &traj[r * mc.max_steps..(r + 1) * mc.max_steps];
+            let mut pos = cand.0;
+            let mut on_query_side = true;
+            for (t, &src) in steps.iter().enumerate() {
+                if src == DEAD {
+                    break;
+                }
+                let next = if on_query_side {
+                    let (na, _) = g.ads_of(QueryId(pos));
+                    if na.is_empty() {
+                        break;
+                    }
+                    na[crng.gen_range(0..na.len())].0
+                } else {
+                    let (nq, _) = g.queries_of(simrankpp_graph::AdId(pos));
+                    if nq.is_empty() {
+                        break;
+                    }
+                    nq[crng.gen_range(0..nq.len())].0
+                };
+                pos = next;
+                on_query_side = !on_query_side;
+                if pos == src {
+                    total += decay[t];
+                    break;
+                }
+            }
+        }
+        let est = total / mc.walks as f64;
+        if est > 0.0 {
+            top.push(cand.0, est);
+        }
+    }
+    out.extend(
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|(i, s)| (QueryId(i), s)),
+    );
 }
 
 /// Estimates the raw weighted-walk score of `(q1, q2)` (no evidence factor)
@@ -301,6 +430,83 @@ mod tests {
             (est - raw).abs() < 0.02,
             "estimate {est} too far from raw weighted {raw}"
         );
+    }
+
+    #[test]
+    fn mc_config_serde_round_trips() {
+        let mc = McConfig {
+            walks: 123,
+            max_steps: 7,
+            seed: 42,
+        };
+        let json = serde_json::to_string(&mc).unwrap();
+        let back: McConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(mc, back);
+    }
+
+    #[test]
+    fn default_seed_spells_qmrk() {
+        // The seed bytes are ASCII "QMRK"; the comment used to claim "SRNK".
+        let seed = McConfig::default().seed;
+        let bytes = [
+            (seed >> 24) as u8,
+            (seed >> 16) as u8,
+            (seed >> 8) as u8,
+            seed as u8,
+        ];
+        assert_eq!(&bytes, b"QMRK");
+    }
+
+    #[test]
+    fn topk_tracks_pairwise_estimates() {
+        // The batched path must agree with per-pair estimation to MC noise.
+        let g = figure3_graph();
+        let q = g.query_by_name("camera").unwrap();
+        let mcc = mc(20_000);
+        let mut got = Vec::new();
+        mc_topk_into(&g, q, 5, &cfg(), &mcc, &mut got);
+        assert!(!got.is_empty());
+        let exact = crate::simrank::simrank(&g, &cfg());
+        for &(cand, est) in &got {
+            let e = exact.queries.get(q.0, cand.0);
+            assert!(
+                (est - e).abs() < 0.03,
+                "candidate {:?}: batched {est}, exact {e}",
+                cand
+            );
+        }
+    }
+
+    #[test]
+    fn topk_orders_by_score_and_excludes_source() {
+        let g = figure3_graph();
+        let q = g.query_by_name("pc").unwrap();
+        let mut got = Vec::new();
+        mc_topk_into(&g, q, 10, &cfg(), &mc(10_000), &mut got);
+        assert!(got.iter().all(|&(w, _)| w != q));
+        for w in got.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn topk_of_isolated_query_is_empty() {
+        let g = figure3_graph();
+        let q = g.query_by_name("flower").unwrap();
+        let mut got = Vec::new();
+        mc_topk_into(&g, q, 10, &cfg(), &mc(1000), &mut got);
+        // "flower" shares its only ad with nobody.
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn topk_deterministic_given_seed() {
+        let g = figure3_graph();
+        let q = g.query_by_name("camera").unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        mc_topk_into(&g, q, 5, &cfg(), &mc(5000), &mut a);
+        mc_topk_into(&g, q, 5, &cfg(), &mc(5000), &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

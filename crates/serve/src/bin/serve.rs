@@ -6,6 +6,9 @@
 //! serve run <index.idx>                        online: line protocol on stdin/stdout
 //! serve run --graph <graph.tsv> [method] [shard]   build in memory, then serve
 //!                                              (enables the `update` protocol verb)
+//! serve run --graph <graph.tsv> --mode single-source   skip the offline build: every
+//!                                              query is computed live on demand and
+//!                                              cached (bounded LRU, see --cache-capacity)
 //! serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3
 //!              [out.idx] [--write-graph <path>]    incremental: refresh dirty rows only
 //! serve info <index.idx>                       print snapshot header + stats
@@ -18,6 +21,11 @@
 //! monolithic build), `off`, or `extracted:K` (approximate ACL carving of
 //! the giant component into K blocks). Diagnostics go to stderr; stdout
 //! carries only the line protocol, so `serve run` pipes cleanly.
+//!
+//! With `--graph` and a recursive method the server also holds a live
+//! single-source engine: queries the index misses (always, under `--mode
+//! single-source`) are computed on demand and cached; the protocol's `info`
+//! verb reports the cache's hit/miss counters.
 //!
 //! `serve update` applies a delta TSV (`+\tquery\tad\timpr\tclicks\tecr`
 //! per upsert, `-\tquery\tad` per removal) to the graph the snapshot was
@@ -32,7 +40,7 @@ use simrankpp_graph::{
     io::{read_tsv, write_tsv},
     ClickGraph, WeightKind,
 };
-use simrankpp_serve::{serve_session, RewriteIndex, ServeState, UpdateContext};
+use simrankpp_serve::{serve_session, LiveContext, RewriteIndex, ServeState, UpdateContext};
 use std::fs::File;
 use std::io::{self, BufReader};
 use std::process::ExitCode;
@@ -41,11 +49,13 @@ use std::time::Instant;
 const USAGE: &str = "usage:
   serve build <graph.tsv>|--fixture fig3 <out.idx> [method] [shard]
   serve run <index.idx>
-  serve run --graph <graph.tsv> [method] [shard]
+  serve run --graph <graph.tsv> [method] [shard] [--mode all-pairs|single-source] [--cache-capacity N]
   serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3 [out.idx] [--write-graph <path>]
   serve info <index.idx>
 method: naive | pearson | simrank | evidence | weighted (default weighted)
-shard:  components | off | extracted:K (default components; exact)";
+shard:  components | off | extracted:K (default components; exact)
+mode:   all-pairs (default; precompute every row offline) | single-source
+        (no offline build: rows computed per query on demand, LRU-cached)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,15 +169,113 @@ fn build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the offline index over `graph` and assembles the serve state.
+/// Updatable servers of a recursive method also get the live single-source
+/// fallback, so queries the index misses (possible once deltas land) are
+/// computed on demand instead of refused.
+fn build_state(
+    graph: ClickGraph,
+    kind: MethodKind,
+    sharding: ShardStrategy,
+    cache_capacity: usize,
+    updatable: bool,
+) -> Result<ServeState, String> {
+    let index = build_index(&graph, kind, sharding);
+    let config = serve_config(sharding);
+    let live = if updatable
+        && matches!(
+            kind,
+            MethodKind::Simrank | MethodKind::EvidenceSimrank | MethodKind::WeightedSimrank
+        ) {
+        let t0 = Instant::now();
+        let live = LiveContext::new(graph.clone(), kind, config, RewriterConfig::default())?;
+        eprintln!(
+            "live single-source fallback ready in {:.1?} (row cache: {cache_capacity} entries)",
+            t0.elapsed()
+        );
+        Some(live)
+    } else {
+        None
+    };
+    let state = if updatable {
+        ServeState::updatable(
+            index,
+            UpdateContext {
+                graph,
+                config,
+                rewriter: RewriterConfig::default(),
+            },
+        )
+    } else {
+        ServeState::fixed(index)
+    };
+    Ok(match live {
+        Some(l) => state.with_live(l, cache_capacity),
+        None => state,
+    })
+}
+
 fn run(args: &[String]) -> Result<(), String> {
-    let state = match args.first().map(String::as_str) {
+    // Peel the flagged options off; what remains keeps the historical
+    // positional shape (`--graph <path> [method] [shard]` or `<index.idx>`).
+    let mut mode = "all-pairs".to_owned();
+    let mut cache_capacity = 4096usize;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |name: &str| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match args[i].as_str() {
+            "--mode" => {
+                mode = flag_value("--mode")?;
+                i += 2;
+            }
+            "--cache-capacity" => {
+                cache_capacity = flag_value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity: {e}\n{USAGE}"))?;
+                i += 2;
+            }
+            other => {
+                positional.push(other);
+                i += 1;
+            }
+        }
+    }
+    if !matches!(mode.as_str(), "all-pairs" | "single-source") {
+        return Err(format!("unknown mode {mode:?}\n{USAGE}"));
+    }
+
+    let state = match positional.first().copied() {
         Some("--graph") => {
-            let path = args.get(1).ok_or(USAGE.to_owned())?;
-            let kind = method_kind(args.get(2).map(String::as_str).unwrap_or("weighted"))?;
-            let sharding = shard_strategy(args.get(3).map(String::as_str).unwrap_or("components"))?;
+            let path = positional.get(1).ok_or(USAGE.to_owned())?;
+            let kind = method_kind(positional.get(2).copied().unwrap_or("weighted"))?;
+            let sharding = shard_strategy(positional.get(3).copied().unwrap_or("components"))?;
             let graph = load_graph(path, false)?;
-            let index = build_index(&graph, kind, sharding);
-            if let ShardStrategy::Extracted(_) = sharding {
+            if mode == "single-source" {
+                // No offline build at all: an empty index (every lookup
+                // misses) over a live engine, so each query's row is
+                // computed on first demand and LRU-cached.
+                let config = serve_config(sharding);
+                let meta = simrankpp_serve::IndexMeta {
+                    method: kind,
+                    max_rewrites: RewriterConfig::default().max_rewrites as u32,
+                    bid_filtered: false,
+                    approx_sharding: false,
+                    kernel: config.kernel,
+                };
+                let t0 = Instant::now();
+                let live = LiveContext::new(graph, kind, config, RewriterConfig::default())?;
+                eprintln!(
+                    "single-source mode: skipped the offline build; live engine ready in \
+                     {:.1?} (row cache: {cache_capacity} entries)",
+                    t0.elapsed()
+                );
+                ServeState::fixed(RewriteIndex::empty(meta)).with_live(live, cache_capacity)
+            } else if let ShardStrategy::Extracted(_) = sharding {
                 // Extraction sharding cuts edges (approximate); an exact
                 // per-component incremental refresh would silently mix
                 // regimes with the approximate rows it copies. Serve
@@ -176,17 +284,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     "extracted sharding is approximate: `update` disabled \
                      (rebuild with `components` to enable incremental updates)"
                 );
-                ServeState::fixed(index)
+                build_state(graph, kind, sharding, cache_capacity, false)?
             } else {
                 eprintln!("live graph held: `update <delta.tsv>` hot-swaps the index in place");
-                ServeState::updatable(
-                    index,
-                    UpdateContext {
-                        graph,
-                        config: serve_config(sharding),
-                        rewriter: RewriterConfig::default(),
-                    },
-                )
+                build_state(graph, kind, sharding, cache_capacity, true)?
             }
         }
         Some(path) => {
@@ -315,6 +416,9 @@ fn info(args: &[String]) -> Result<(), String> {
     println!(
         "coverage        {:.4}",
         covered as f64 / index.n_queries().max(1) as f64
+    );
+    println!(
+        "row cache       n/a offline (the protocol `info` verb reports it on a running server)"
     );
     Ok(())
 }

@@ -326,6 +326,21 @@ impl RewriteIndex {
         ))
     }
 
+    /// An index covering **zero** queries: every lookup misses. The
+    /// single-source serving mode starts from this — the server skips the
+    /// offline all-pairs build entirely and answers each query live, so the
+    /// only thing an index contributes is the provenance in `meta`.
+    pub fn empty(meta: IndexMeta) -> RewriteIndex {
+        RewriteIndex {
+            meta,
+            n_queries: 0,
+            offsets: vec![0],
+            targets: Vec::new(),
+            scores: Vec::new(),
+            names: None,
+        }
+    }
+
     /// Marks the index as built under an approximate (edge-cutting) sharding
     /// regime. `RewriteIndex::build` cannot see the engine strategy (it only
     /// receives precomputed scores), so the caller that chose

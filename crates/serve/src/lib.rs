@@ -17,13 +17,20 @@
 //! * [`swap`] — a hand-rolled `ArcSwap`-style [`AtomicHandle`] so a new
 //!   index generation hot-swaps in while requests keep being answered.
 //! * [`server`] — the stdin/stdout line protocol (`rewrite <query>`,
-//!   `batch <file>`, `update <delta.tsv>`) spoken by the `serve` binary.
+//!   `batch <file>`, `update <delta.tsv>`, `info`) spoken by the `serve`
+//!   binary. A server built with a [`LiveContext`] additionally answers
+//!   queries the index does not cover by computing their row on demand with
+//!   the single-source engine (`simrankpp_core::SingleSourceEngine`).
+//! * [`rowcache`] — the bounded, generation-aware LRU of live-computed
+//!   rows backing that fallback; invalidated on every `update` hot-swap.
 
 pub mod index;
+pub mod rowcache;
 pub mod server;
 pub mod snapshot;
 pub mod swap;
 
 pub use index::{IndexMeta, RebuildStats, RewriteIndex, RewriteSet};
-pub use server::{serve_lines, serve_session, ServeState, UpdateContext};
+pub use rowcache::{CacheStats, RowCache};
+pub use server::{serve_lines, serve_session, LiveContext, ServeState, UpdateContext};
 pub use swap::AtomicHandle;

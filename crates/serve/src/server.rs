@@ -11,7 +11,35 @@
 //!   in — requests keep being answered throughout, each against one
 //!   consistent generation. Needs a server started with a live graph
 //!   ([`ServeState::updatable`], the binary's `run --graph` mode);
+//! * `info` — one line of index metadata plus, when live single-source
+//!   serving is on, the row-cache statistics (capacity, entries, hit/miss
+//!   counters, invalidation generation);
 //! * `quit` — clean shutdown (EOF works too).
+//!
+//! ## Cold queries and live single-source serving
+//!
+//! A server built with a [`LiveContext`] (the binary's `--mode
+//! single-source`, or any `run --graph` start with a recursive method) no
+//! longer refuses queries the precomputed index misses: it resolves the
+//! query against the live click graph and, when present, computes its row
+//! on demand with `simrankpp_core::SingleSourceEngine`, replays the §9.3
+//! pipeline (rank → stem-dedup → top-5; the live path carries no bid-term
+//! list, so the bid filter does not apply), and answers `ok` exactly like
+//! an indexed hit. Rendered answers land in a bounded LRU
+//! ([`crate::rowcache::RowCache`]) keyed by query id, so a repeat of a cold
+//! query is a hash probe — and a cache hit is byte-identical to the miss
+//! that populated it, because the cache stores the rendered line suffix
+//! itself. Every `update` invalidates the cache (generation bump) and
+//! rebuilds the live engine on the post-delta graph.
+//!
+//! The miss taxonomy is structured accordingly:
+//!
+//! * indexed → `ok` (precomputed);
+//! * not indexed, in the graph, live engine on → `ok` (computed, cached);
+//! * not indexed, in the graph, no live engine → `miss\t<query>` — the
+//!   query is *known* but this server cannot produce a row for it;
+//! * not in the graph at all (or snapshot mode, where no graph is
+//!   available) → `err\tunknown query\t<query>`.
 //!
 //! Responses are single tab-separated lines. TSV-loaded graphs cannot carry
 //! tabs in names (`write_tsv` rejects them), but programmatically built
@@ -35,14 +63,20 @@
 //! half-written response line.
 
 use crate::index::RewriteIndex;
+use crate::rowcache::RowCache;
 use crate::swap::AtomicHandle;
-use simrankpp_core::{RewriterConfig, SimrankConfig};
+use simrankpp_core::weighted::SpreadMode;
+use simrankpp_core::{
+    evidence_geometric, MethodKind, RewriterConfig, RowWorkspace, SimrankConfig,
+    SingleSourceEngine, UniformTransition, WeightedTransition,
+};
 use simrankpp_graph::delta::{apply_named, read_delta_tsv};
-use simrankpp_graph::ClickGraph;
+use simrankpp_graph::{ClickGraph, QueryId};
+use simrankpp_text::StemDeduper;
 use std::borrow::Cow;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Replaces frame-breaking characters in an echoed field; borrows (no
 /// allocation) in the normal tab-free case.
@@ -67,12 +101,177 @@ pub struct UpdateContext {
     pub rewriter: RewriterConfig,
 }
 
+/// Everything the live single-source fallback needs to answer a cold query:
+/// the click graph, the per-query engine over it, and the pipeline knobs
+/// that make its answers rank like the offline build's.
+pub struct LiveContext {
+    graph: ClickGraph,
+    method: MethodKind,
+    config: SimrankConfig,
+    rewriter: RewriterConfig,
+    engine: SingleSourceEngine,
+    ws: RowWorkspace,
+}
+
+impl LiveContext {
+    /// Builds the live engine for `graph`. Only the recursive SimRank
+    /// methods run on the propagation engine; `Naive`/`Pearson` have no
+    /// single-source formulation here and are refused.
+    pub fn new(
+        graph: ClickGraph,
+        method: MethodKind,
+        config: SimrankConfig,
+        rewriter: RewriterConfig,
+    ) -> Result<LiveContext, String> {
+        let engine = match method {
+            MethodKind::Simrank | MethodKind::EvidenceSimrank => {
+                SingleSourceEngine::new(&graph, &config, &UniformTransition)
+            }
+            MethodKind::WeightedSimrank => SingleSourceEngine::new(
+                &graph,
+                &config,
+                &WeightedTransition {
+                    kind: config.weight_kind,
+                    spread: SpreadMode::Exponential,
+                },
+            ),
+            other => {
+                return Err(format!(
+                    "live single-source serving needs a recursive SimRank method, not {}",
+                    other.name()
+                ))
+            }
+        };
+        let ws = RowWorkspace::new(graph.n_queries(), graph.n_ads());
+        Ok(LiveContext {
+            graph,
+            method,
+            config,
+            rewriter,
+            engine,
+            ws,
+        })
+    }
+
+    /// Computes the rendered response suffix (`\t<k>[\t<name>\t<score>]...`)
+    /// of one cold query: single-source raw row → evidence factor → the
+    /// §9.3 ranking and stem-dedup of `Method::ranked_candidates` +
+    /// `Rewriter::rewrite_ids_into` — minus the bid filter, which needs a
+    /// bid-term list the live path does not carry.
+    fn compute_suffix(&mut self, q: QueryId) -> String {
+        let mut row = Vec::new();
+        self.engine.row_into(&self.graph, q, &mut self.ws, &mut row);
+
+        // (id, final, raw): final applies the geometric evidence factor for
+        // the evidence-carrying methods; plain SimRank ranks by raw alone.
+        // Evidence-zeroed candidates stay in with final = 0 so the raw
+        // score tie-breaks, mirroring `ranked_candidates`.
+        let mut candidates: Vec<(u32, f64, f64)> = Vec::new();
+        for &(other, raw) in &row {
+            if other == q || raw <= 0.0 {
+                continue;
+            }
+            let final_score = match self.method {
+                MethodKind::Simrank => raw,
+                _ => evidence_geometric(self.graph.common_ads(q, other)) * raw,
+            };
+            candidates.push((other.0, final_score, raw));
+        }
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        candidates.truncate(self.rewriter.max_candidates);
+
+        let mut deduper = if self.rewriter.stem_dedup {
+            Some(match self.graph.query_name(q) {
+                Some(name) => StemDeduper::seeded_with(name),
+                None => StemDeduper::new(),
+            })
+        } else {
+            None
+        };
+        let mut picked: Vec<(u32, f64)> = Vec::new();
+        for (candidate, final_score, _raw) in candidates {
+            if let Some(d) = deduper.as_mut() {
+                if let Some(name) = self.graph.query_name(QueryId(candidate)) {
+                    if !d.admit(name) {
+                        continue;
+                    }
+                }
+            }
+            picked.push((candidate, final_score));
+            if picked.len() >= self.rewriter.max_rewrites {
+                break;
+            }
+        }
+
+        let mut suffix = format!("\t{}", picked.len());
+        for (id, score) in picked {
+            match self.graph.query_name(QueryId(id)) {
+                Some(n) => suffix.push_str(&format!("\t{}\t{score:.6}", clean(n))),
+                None => suffix.push_str(&format!("\t#{id}\t{score:.6}")),
+            }
+        }
+        suffix
+    }
+}
+
+impl std::fmt::Debug for LiveContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveContext")
+            .field("method", &self.method)
+            .field("queries", &self.graph.n_queries())
+            .field("levels", &self.engine.levels())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The live fallback of one server: the swappable context plus the row
+/// cache that survives across requests (but not across graph generations).
+#[derive(Debug)]
+struct LiveState {
+    ctx: Mutex<LiveContext>,
+    cache: RowCache,
+}
+
+impl LiveState {
+    /// Answers `query` from the cache or by live computation; `None` means
+    /// the query is not in the graph at all.
+    fn serve(&self, query: &str) -> Option<Arc<String>> {
+        let mut ctx = self.ctx.lock().expect("live context poisoned");
+        let q = ctx.graph.query_by_name(query)?;
+        // Capture the generation before computing: an invalidation landing
+        // mid-computation turns the insert below into a no-op.
+        let generation = self.cache.generation();
+        if let Some(hit) = self.cache.get(q) {
+            return Some(hit);
+        }
+        let suffix = Arc::new(ctx.compute_suffix(q));
+        self.cache.insert(generation, q, Arc::clone(&suffix));
+        Some(suffix)
+    }
+
+    /// Replaces the context with one built over `graph` and drops every
+    /// cached row (they priced the previous generation's scores).
+    fn rebuild(&self, graph: ClickGraph) -> Result<(), String> {
+        let mut ctx = self.ctx.lock().expect("live context poisoned");
+        let (method, config, rewriter) = (ctx.method, ctx.config, ctx.rewriter);
+        *ctx = LiveContext::new(graph, method, config, rewriter)?;
+        self.cache.invalidate();
+        Ok(())
+    }
+}
+
 /// A running server's shared state: the hot-swappable index handle plus the
-/// optional update context.
+/// optional update context and the optional live single-source fallback.
 #[derive(Debug)]
 pub struct ServeState {
     index: AtomicHandle<RewriteIndex>,
     update: Option<Mutex<UpdateContext>>,
+    live: Option<LiveState>,
 }
 
 impl ServeState {
@@ -81,6 +280,7 @@ impl ServeState {
         ServeState {
             index: AtomicHandle::new(index),
             update: None,
+            live: None,
         }
     }
 
@@ -89,7 +289,24 @@ impl ServeState {
         ServeState {
             index: AtomicHandle::new(index),
             update: Some(Mutex::new(ctx)),
+            live: None,
         }
+    }
+
+    /// Turns on the live single-source fallback: queries the index misses
+    /// are computed on demand through `live` and cached in an LRU of
+    /// `cache_capacity` rendered rows.
+    pub fn with_live(mut self, live: LiveContext, cache_capacity: usize) -> ServeState {
+        self.live = Some(LiveState {
+            ctx: Mutex::new(live),
+            cache: RowCache::new(cache_capacity),
+        });
+        self
+    }
+
+    /// The live row cache's statistics, when the fallback is on.
+    pub fn cache_stats(&self) -> Option<crate::rowcache::CacheStats> {
+        self.live.as_ref().map(|l| l.cache.stats())
     }
 
     /// The swappable index handle (for out-of-band readers and tests).
@@ -99,24 +316,52 @@ impl ServeState {
 
     /// Applies a named-op delta read from `path`: rebuilds the dirty rows,
     /// hot-swaps the new generation in, and advances the stored graph.
-    /// On error the previous generation keeps serving untouched.
+    /// When the live fallback is on, its engine is rebuilt over the new
+    /// graph and the row cache invalidated — stale rows must never answer
+    /// the new generation. On error the previous generation keeps serving
+    /// untouched.
+    ///
+    /// A server with *only* a live context (`--mode single-source`: the
+    /// index is empty) still supports `update`: the delta applies to the
+    /// live graph alone, with every query counted as refreshed.
     pub fn apply_update(&self, path: &str) -> Result<crate::index::RebuildStats, String> {
-        let ctx = self
-            .update
-            .as_ref()
-            .ok_or("server was started without a live graph (snapshot mode)")?;
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         let ops = read_delta_tsv(BufReader::new(file))
             .map_err(|e| format!("cannot parse {path}: {e}"))?;
-        let mut ctx = ctx.lock().expect("update context poisoned");
-        let (new_graph, delta) = apply_named(&ctx.graph, &ops)?;
-        let dirty = delta.dirty_components(&new_graph);
-        let old = self.index.load();
-        let (next, stats) =
-            old.rebuild_incremental(&new_graph, &dirty, &ctx.config, &ctx.rewriter, None)?;
-        self.index.swap(next);
-        ctx.graph = new_graph;
-        Ok(stats)
+        if let Some(ctx) = self.update.as_ref() {
+            let mut ctx = ctx.lock().expect("update context poisoned");
+            let (new_graph, delta) = apply_named(&ctx.graph, &ops)?;
+            let dirty = delta.dirty_components(&new_graph);
+            let old = self.index.load();
+            let (next, stats) =
+                old.rebuild_incremental(&new_graph, &dirty, &ctx.config, &ctx.rewriter, None)?;
+            // Rebuild the live side first: if it fails, the old index
+            // generation and old live context both keep serving.
+            if let Some(live) = self.live.as_ref() {
+                live.rebuild(new_graph.clone())?;
+            }
+            self.index.swap(next);
+            ctx.graph = new_graph;
+            Ok(stats)
+        } else if let Some(live) = self.live.as_ref() {
+            let (new_graph, delta) = {
+                let ctx = live.ctx.lock().expect("live context poisoned");
+                apply_named(&ctx.graph, &ops)?
+            };
+            let dirty = delta.dirty_components(&new_graph);
+            let stats = crate::index::RebuildStats {
+                refreshed_queries: new_graph.n_queries(),
+                copied_queries: 0,
+                refreshed_entries: 0,
+                copied_entries: 0,
+                n_dirty_components: dirty.n_dirty(),
+                n_clean_components: dirty.n_clean(),
+            };
+            live.rebuild(new_graph)?;
+            Ok(stats)
+        } else {
+            Err("server was started without a live graph (snapshot mode)".into())
+        }
     }
 }
 
@@ -145,7 +390,7 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
             None => (line, ""),
         };
         match cmd {
-            "rewrite" => respond(&state.index.load(), arg, &mut out)?,
+            "rewrite" => respond(state, &state.index.load(), arg, &mut out)?,
             "batch" => match File::open(arg) {
                 Err(e) => writeln!(out, "err\tcannot read batch file\t{}: {e}", clean(arg))?,
                 Ok(f) => {
@@ -168,7 +413,7 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                         if q.is_empty() || q.starts_with('#') {
                             continue;
                         }
-                        respond(&index, q, &mut out)?;
+                        respond(state, &index, q, &mut out)?;
                         served += 1;
                     }
                     writeln!(out, "done\t{served}")?;
@@ -186,6 +431,26 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                 )?,
                 Err(e) => writeln!(out, "err\tupdate failed\t{}", clean(&e))?,
             },
+            "info" => {
+                let index = state.index.load();
+                write!(
+                    out,
+                    "info\tmethod={}\tqueries={}\tentries={}\tkernel={:?}",
+                    index.meta().method.name(),
+                    index.n_queries(),
+                    index.n_entries(),
+                    index.meta().kernel
+                )?;
+                match state.cache_stats() {
+                    Some(s) => writeln!(
+                        out,
+                        "\trowcache=on\tcache_capacity={}\tcache_entries={}\tcache_hits={}\
+                         \tcache_misses={}\tcache_generation={}",
+                        s.capacity, s.entries, s.hits, s.misses, s.generation
+                    )?,
+                    None => writeln!(out, "\trowcache=off")?,
+                }
+            }
             "quit" => {
                 writeln!(out, "bye")?;
                 out.flush()?;
@@ -207,18 +472,43 @@ pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W)
     serve_session(&ServeState::fixed(index.clone()), input, out)
 }
 
-fn respond<W: Write>(index: &RewriteIndex, query: &str, out: &mut W) -> io::Result<()> {
-    let Some(set) = index.lookup(query) else {
-        return writeln!(out, "err\tunknown query\t{}", clean(query));
-    };
-    write!(out, "ok\t{}\t{}", clean(query), set.len())?;
-    for (id, score, name) in set.iter() {
-        match name {
-            Some(n) => write!(out, "\t{}\t{score:.6}", clean(n))?,
-            None => write!(out, "\t#{}\t{score:.6}", id.0)?,
+fn respond<W: Write>(
+    state: &ServeState,
+    index: &RewriteIndex,
+    query: &str,
+    out: &mut W,
+) -> io::Result<()> {
+    if let Some(set) = index.lookup(query) {
+        write!(out, "ok\t{}\t{}", clean(query), set.len())?;
+        for (id, score, name) in set.iter() {
+            match name {
+                Some(n) => write!(out, "\t{}\t{score:.6}", clean(n))?,
+                None => write!(out, "\t#{}\t{score:.6}", id.0)?,
+            }
+        }
+        return writeln!(out);
+    }
+    // Not indexed. The live fallback computes the row on demand; without
+    // it, a graph-backed server can still distinguish a *known* query it
+    // has no row for (`miss`) from one absent from the graph (`err`).
+    if let Some(live) = state.live.as_ref() {
+        return match live.serve(query) {
+            Some(suffix) => writeln!(out, "ok\t{}{}", clean(query), suffix),
+            None => writeln!(out, "err\tunknown query\t{}", clean(query)),
+        };
+    }
+    if let Some(ctx) = state.update.as_ref() {
+        let known = ctx
+            .lock()
+            .expect("update context poisoned")
+            .graph
+            .query_by_name(query)
+            .is_some();
+        if known {
+            return writeln!(out, "miss\t{}", clean(query));
         }
     }
-    writeln!(out)
+    writeln!(out, "err\tunknown query\t{}", clean(query))
 }
 
 #[cfg(test)]
@@ -476,6 +766,155 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("ok\tcamera\t"));
         assert!(lines[1].starts_with("ok\tpc\t"));
+    }
+
+    fn empty_meta() -> crate::index::IndexMeta {
+        crate::index::IndexMeta {
+            method: MethodKind::WeightedSimrank,
+            max_rewrites: 5,
+            bid_filtered: false,
+            approx_sharding: false,
+            kernel: simrankpp_core::KernelKind::default(),
+        }
+    }
+
+    /// Live-only state over figure 3: empty index, every query served cold.
+    fn live_state() -> ServeState {
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let live = LiveContext::new(
+            g,
+            MethodKind::WeightedSimrank,
+            cfg,
+            RewriterConfig::default(),
+        )
+        .unwrap();
+        ServeState::fixed(RewriteIndex::empty(empty_meta())).with_live(live, 64)
+    }
+
+    fn run_on(state: &ServeState, input: &str) -> String {
+        let mut out = Vec::new();
+        serve_session(state, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn live_fallback_serves_cold_query_and_repeat_hits_cache() {
+        let state = live_state();
+        let out = run_on(
+            &state,
+            "rewrite camera\nrewrite camera\nrewrite zzz\ninfo\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let fields: Vec<&str> = lines[0].split('\t').collect();
+        assert_eq!(fields[0], "ok");
+        assert_eq!(fields[1], "camera");
+        assert_eq!(fields[3], "digital camera", "{out}");
+        // The warm answer is byte-identical to the cold one: the cache
+        // stores the rendered suffix itself.
+        assert_eq!(lines[1], lines[0]);
+        // A query absent from the graph is still an error, not a miss.
+        assert!(lines[2].starts_with("err\tunknown query\tzzz"));
+        assert!(lines[3].contains("rowcache=on"), "{out}");
+        assert!(lines[3].contains("cache_hits=1"), "{out}");
+        // zzz fails graph resolution before the cache probe: one miss only.
+        assert!(lines[3].contains("cache_misses=1"), "{out}");
+        assert!(lines[3].contains("cache_entries=1"), "{out}");
+    }
+
+    #[test]
+    fn live_answers_rank_like_the_precomputed_index() {
+        // For every figure-3 query the live pipeline must produce the same
+        // rewrite names in the same order as the offline index build (the
+        // scores may differ in trailing digits: the live engine evaluates
+        // the converged series, the index a fixed iteration budget).
+        let index = fig3_index();
+        let state = live_state();
+        let g = figure3_graph();
+        for q in g.queries() {
+            let name = g.query_name(q).unwrap();
+            let live_line = run_on(&state, &format!("rewrite {name}\n"));
+            let mut indexed_line = Vec::new();
+            serve_lines(
+                &index,
+                format!("rewrite {name}\n").as_bytes(),
+                &mut indexed_line,
+            )
+            .unwrap();
+            let indexed_line = String::from_utf8(indexed_line).unwrap();
+            let names = |line: &str| -> Vec<String> {
+                line.trim_end()
+                    .split('\t')
+                    .skip(3)
+                    .step_by(2)
+                    .map(str::to_owned)
+                    .collect()
+            };
+            assert_eq!(
+                names(&live_line),
+                names(&indexed_line),
+                "live vs indexed rewrites diverge for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_distinguishes_known_queries_without_rows() {
+        // Graph-backed server, no live engine, index that covers nothing:
+        // a known query is a structured `miss`, an unknown one an `err`.
+        let g = figure3_graph();
+        let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+        let state = ServeState::updatable(
+            RewriteIndex::empty(empty_meta()),
+            UpdateContext {
+                graph: g,
+                config: cfg,
+                rewriter: RewriterConfig::default(),
+            },
+        );
+        let out = run_on(&state, "rewrite camera\nrewrite zzz\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "miss\tcamera");
+        assert!(lines[1].starts_with("err\tunknown query\tzzz"));
+    }
+
+    #[test]
+    fn info_reports_rowcache_off_in_snapshot_mode() {
+        let out = run("info\n");
+        let line = out.lines().next().unwrap();
+        assert!(
+            line.starts_with("info\tmethod=weighted Simrank\t"),
+            "{line}"
+        );
+        assert!(line.contains("\tqueries=5\t"), "{line}");
+        assert!(line.ends_with("rowcache=off"), "{line}");
+    }
+
+    #[test]
+    fn update_rebuilds_live_engine_and_invalidates_cache() {
+        let state = live_state();
+        let delta_path = std::env::temp_dir().join("simrankpp_live_update_test.tsv");
+        std::fs::write(&delta_path, "+\tpc\thp.com\t100\t80\t0.8\n").unwrap();
+        let out = run_on(
+            &state,
+            &format!(
+                "rewrite pc\nupdate {}\nrewrite pc\ninfo\n",
+                delta_path.display()
+            ),
+        );
+        std::fs::remove_file(&delta_path).ok();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ok\tpc\t"), "{out}");
+        // Live-only update: every query counts as refreshed, none copied;
+        // figure 3 has one dirty (pc's) and one clean (flower's) component.
+        assert_eq!(
+            lines[1].split('\t').collect::<Vec<_>>(),
+            vec!["updated", "5", "5", "0", "1", "1"]
+        );
+        assert!(lines[2].starts_with("ok\tpc\t"), "{out}");
+        assert_ne!(lines[2], lines[0], "boosted edge must change pc's answer");
+        assert!(lines[3].contains("cache_generation=1"), "{out}");
+        assert!(lines[3].contains("cache_entries=1"), "{out}");
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub use simrankpp_util as util;
 pub mod prelude {
     pub use simrankpp_core::evidence::EvidenceKind;
     pub use simrankpp_core::{
-        KernelKind, Method, MethodKind, Rewrite, Rewriter, RewriterConfig, SimrankConfig,
+        EngineMode, KernelKind, Method, MethodKind, Rewrite, Rewriter, RewriterConfig,
+        SimrankConfig,
     };
     pub use simrankpp_eval::{run_experiment, ExperimentConfig};
     pub use simrankpp_graph::{
