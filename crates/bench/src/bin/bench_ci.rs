@@ -24,13 +24,21 @@
 //!
 //! ```text
 //! bench_ci [--quick] [--out-dir DIR] [--check] [--baseline-dir DIR]
-//!          [--tolerance PCT]
+//!          [--tolerance PCT] [--tier default|1m] [--target-queries N]
 //! ```
 //!
 //! `--quick` lowers repetitions (graph shapes stay identical, so keys stay
 //! comparable across modes). To refresh the committed baseline after an
 //! intentional perf change: `bench_ci --out-dir .` at the repo root and
 //! commit the two JSON files.
+//!
+//! `--tier 1m` replaces the default series with the beyond-RAM scale proof
+//! (`BENCH_scale.json`): a ~1M-query federated store is streamed to disk,
+//! index-built segment-at-a-time under a peak-RSS ceiling, and served via
+//! `MappedIndex` whose open time must stay flat from 10k to 1M queries.
+//! Its gates are machine-relative ceilings — no committed baseline needed.
+//! `--target-queries` shrinks the tier for smoke runs (labels keep their
+//! nominal 10k/100k/1m names).
 
 use simrankpp_core::engine::{self, reference, UniformTransition, WeightedTransition};
 use simrankpp_core::montecarlo::{mc_topk_into, McConfig};
@@ -40,11 +48,15 @@ use simrankpp_core::{
     SimrankConfig, SingleSourceEngine,
 };
 use simrankpp_graph::{
-    AdId, ClickGraph, ClickGraphBuilder, EdgeData, GraphDelta, QueryId, WeightKind,
+    AdId, ClickGraph, ClickGraphBuilder, EdgeData, GraphDelta, QueryId, SegmentedStore, WeightKind,
 };
-use simrankpp_serve::{serve_session, IndexMeta, LiveContext, RewriteIndex, ServeState};
+use simrankpp_serve::{
+    serve_session, IndexMeta, LiveContext, MappedIndex, RewriteIndex, ServeState,
+};
+use simrankpp_synth::federation::write_store;
 use simrankpp_synth::generator::{generate, GeneratorConfig};
 use std::collections::BTreeMap;
+use std::fs::File;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -54,6 +66,8 @@ struct Options {
     check: bool,
     baseline_dir: String,
     tolerance_pct: f64,
+    tier: String,
+    target_queries: u64,
 }
 
 /// Engine series whose absolute time is gated against the committed
@@ -92,6 +106,21 @@ const MIN_FLAT_VS_HASHMAP: f64 = 1.2;
 /// if the pull path ever regresses toward the flat path.
 const MIN_PULL_VS_FLAT: f64 = 1.3;
 
+/// Ceiling on the `--tier 1m` segmented build's peak RSS (VmHWM). The whole
+/// point of the segmented pipeline is that build memory is bounded by the
+/// largest segment plus the output index, never by the store — a 1M-query
+/// build that climbs past this is holding more than one segment's scores.
+const MAX_1M_PEAK_RSS_MB: f64 = 2048.0;
+
+/// Ceiling on opening the 1M-query snapshot via [`MappedIndex`]: open cost
+/// is O(#sections) header/table work plus one `mmap` — milliseconds flat,
+/// regardless of index size.
+const MAX_MAPPED_OPEN_MS_1M: f64 = 50.0;
+
+/// Ceiling on `open(1M) / open(10k)`: startup must stay flat as the index
+/// grows 100×. A ratio drifting up means something O(n) crept into open.
+const MAX_OPEN_FLATNESS: f64 = 8.0;
+
 fn main() {
     let mut opts = Options {
         quick: false,
@@ -99,6 +128,8 @@ fn main() {
         check: false,
         baseline_dir: ".".to_owned(),
         tolerance_pct: 25.0,
+        tier: "default".to_owned(),
+        target_queries: 1_000_000,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -135,11 +166,27 @@ fn main() {
                 });
                 i += 2;
             }
+            "--tier" => {
+                opts.tier = value(i);
+                if opts.tier != "default" && opts.tier != "1m" {
+                    eprintln!("--tier must be 'default' or '1m'");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--target-queries" => {
+                opts.target_queries = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--target-queries needs a number");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_ci [--quick] [--out-dir DIR] [--check] \
-                     [--baseline-dir DIR] [--tolerance PCT]"
+                     [--baseline-dir DIR] [--tolerance PCT] [--tier default|1m] \
+                     [--target-queries N]"
                 );
                 std::process::exit(2);
             }
@@ -151,6 +198,27 @@ fn main() {
         "bench_ci: {} mode, {reps} reps per series",
         if opts.quick { "quick" } else { "full" }
     );
+
+    if opts.tier == "1m" {
+        let (scale_results, scale_derived) = scale_series(&opts, reps);
+        let scale_json = render_scale_json(&opts, &scale_results, &scale_derived);
+        std::fs::create_dir_all(&opts.out_dir).expect("cannot create --out-dir");
+        let scale_path = format!("{}/BENCH_scale.json", opts.out_dir);
+        std::fs::write(&scale_path, &scale_json).expect("cannot write BENCH_scale.json");
+        eprintln!("wrote {scale_path}");
+        if opts.check {
+            let failures = check_scale(&scale_results, &scale_derived);
+            if !failures.is_empty() {
+                eprintln!("bench-check (1m tier) FAILED:");
+                for f in &failures {
+                    eprintln!("  - {f}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("bench-check (1m tier) passed");
+        }
+        return;
+    }
 
     let (engine_results, engine_speedups) = engine_series(&opts, reps);
     let serve_results = serve_series(reps);
@@ -532,6 +600,7 @@ fn serve_series(reps: usize) -> BTreeMap<String, f64> {
         bid_filtered: false,
         approx_sharding: false,
         kernel: cfg.kernel,
+        segments: 0,
     };
     let live = LiveContext::new(
         g,
@@ -584,6 +653,163 @@ fn serve_series(reps: usize) -> BTreeMap<String, f64> {
         }),
     );
     r
+}
+
+/// Peak resident set size of this process in MB (Linux `VmHWM`), `None`
+/// where `/proc` is unavailable.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// The `--tier 1m` series: federated store write, segmented index build
+/// with a peak-RSS ceiling, and mmap open-time flatness at 1×/10×/100× of
+/// `--target-queries / 100`. With the default target the labels are literal:
+/// 10k, 100k and 1M query nodes. Returns `(results_ms, derived)`.
+fn scale_series(opts: &Options, reps: usize) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+    let mut r = BTreeMap::new();
+    let mut derived = BTreeMap::new();
+    let cfg = SimrankConfig::default()
+        .with_iterations(5)
+        .with_prune_threshold(1e-4)
+        .with_sharding(ShardStrategy::Components);
+    let world = GeneratorConfig::small();
+    let tmp = std::env::temp_dir();
+    let scales: [(u64, &str); 3] = [
+        ((opts.target_queries / 100).max(1), "10k"),
+        ((opts.target_queries / 10).max(1), "100k"),
+        (opts.target_queries.max(1), "1m"),
+    ];
+
+    let mut cleanup: Vec<std::path::PathBuf> = Vec::new();
+    for (target, label) in scales {
+        let store_path = tmp.join(format!("simrankpp_bench_scale_{label}.seg"));
+        let snap_path = tmp.join(format!("simrankpp_bench_scale_{label}.idx"));
+        cleanup.push(store_path.clone());
+        cleanup.push(snap_path.clone());
+
+        eprintln!("scale: {label}: writing federated store ({target} query target)");
+        let t0 = Instant::now();
+        let stats = write_store(&world, target, &store_path).expect("write federated store");
+        let write_ms = t0.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "scale: {label}: {} queries / {} segments / {:.1} MB in {:.0} ms",
+            stats.total_queries,
+            stats.n_worlds,
+            stats.file_bytes as f64 / 1e6,
+            write_ms
+        );
+
+        let mut store = SegmentedStore::open(&store_path).expect("open federated store");
+        let t0 = Instant::now();
+        let index = RewriteIndex::build_segmented(
+            &mut store,
+            MethodKind::WeightedSimrank,
+            &cfg,
+            RewriterConfig::default(),
+            None,
+        )
+        .expect("segmented build");
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "scale: {label}: segmented build of {} rows in {:.0} ms",
+            index.n_queries(),
+            build_ms
+        );
+
+        let t0 = Instant::now();
+        index
+            .write_snapshot(File::create(&snap_path).expect("create snapshot"))
+            .expect("write snapshot");
+        let snap_write_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        if label == "1m" {
+            r.insert("scale_1m/store_write_ms".to_owned(), write_ms);
+            r.insert("engine_1m/segmented_build_ms".to_owned(), build_ms);
+            r.insert("serve_1m/snapshot_write_ms".to_owned(), snap_write_ms);
+            derived.insert("store_queries".to_owned(), stats.total_queries as f64);
+            derived.insert("store_segments".to_owned(), stats.n_worlds as f64);
+            derived.insert("store_edges".to_owned(), stats.total_edges as f64);
+            derived.insert("store_mb".to_owned(), stats.file_bytes as f64 / 1e6);
+            derived.insert("index_entries".to_owned(), index.n_entries() as f64);
+            derived.insert(
+                "snapshot_mb".to_owned(),
+                std::fs::metadata(&snap_path)
+                    .expect("snapshot metadata")
+                    .len() as f64
+                    / 1e6,
+            );
+            if let Some(mb) = peak_rss_mb() {
+                derived.insert("peak_rss_mb".to_owned(), mb);
+            }
+        }
+        drop(index);
+        drop(store);
+
+        r.insert(
+            format!("serve_1m/mapped_open_{label}_ms"),
+            median_ms(reps, || MappedIndex::open(&snap_path).expect("mapped open")),
+        );
+        if label == "1m" {
+            let t0 = Instant::now();
+            let heap = RewriteIndex::read_snapshot(File::open(&snap_path).expect("open snapshot"))
+                .expect("heap decode");
+            r.insert(
+                "serve_1m/heap_decode_ms".to_owned(),
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            drop(heap);
+        }
+    }
+
+    derived.insert(
+        "open_flatness_1m_vs_10k".to_owned(),
+        r["serve_1m/mapped_open_1m_ms"] / r["serve_1m/mapped_open_10k_ms"],
+    );
+    derived.insert(
+        "mapped_open_vs_heap_decode_1m".to_owned(),
+        r["serve_1m/heap_decode_ms"] / r["serve_1m/mapped_open_1m_ms"],
+    );
+    for p in cleanup {
+        std::fs::remove_file(p).ok();
+    }
+    (r, derived)
+}
+
+/// Machine-relative gates for the 1m tier — no committed-baseline
+/// comparison: RSS and open-time ceilings plus the flatness ratio hold on
+/// any runner or fail for a real reason.
+fn check_scale(results: &BTreeMap<String, f64>, derived: &BTreeMap<String, f64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    match derived.get("peak_rss_mb") {
+        Some(&rss) if rss > MAX_1M_PEAK_RSS_MB => failures.push(format!(
+            "segmented 1M build peaked at {rss:.0} MB RSS (ceiling: {MAX_1M_PEAK_RSS_MB} MB — \
+             build memory must stay bounded by the largest segment)"
+        )),
+        Some(&rss) => eprintln!("gate ok: peak RSS {rss:.0} MB (ceiling {MAX_1M_PEAK_RSS_MB} MB)"),
+        None => eprintln!("note: /proc/self/status unavailable; skipping RSS gate"),
+    }
+    let open_1m = results["serve_1m/mapped_open_1m_ms"];
+    if open_1m > MAX_MAPPED_OPEN_MS_1M {
+        failures.push(format!(
+            "mmap open of the 1M snapshot took {open_1m:.2} ms \
+             (ceiling: {MAX_MAPPED_OPEN_MS_1M} ms)"
+        ));
+    } else {
+        eprintln!("gate ok: 1M mapped open {open_1m:.2} ms (ceiling {MAX_MAPPED_OPEN_MS_1M} ms)");
+    }
+    let flatness = derived["open_flatness_1m_vs_10k"];
+    if flatness > MAX_OPEN_FLATNESS {
+        failures.push(format!(
+            "open time grew {flatness:.1}x from 10k to 1M queries \
+             (ceiling: {MAX_OPEN_FLATNESS}x — open must be O(#sections), not O(n))"
+        ));
+    } else {
+        eprintln!("gate ok: open flatness {flatness:.2}x (ceiling {MAX_OPEN_FLATNESS}x)");
+    }
+    failures
 }
 
 fn check(
@@ -752,5 +978,30 @@ fn render_serve_json(opts: &Options, results: &BTreeMap<String, f64>) -> String 
          \"speedup_warm_vs_cold_query\": {cache_speedup:.2}\n  }}\n}}\n",
         environment_json(opts),
         json_map(results, "    "),
+    )
+}
+
+fn render_scale_json(
+    opts: &Options,
+    results: &BTreeMap<String, f64>,
+    derived: &BTreeMap<String, f64>,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"bench_ci (scale, 1m tier)\",\n  \"description\": \"Beyond-RAM scale \
+         proof on a federated synthetic store (independent ~2k-query worlds, one segment each, \
+         names stripped): streaming store write, segmented weighted-SimRank index build whose \
+         peak RSS is gated against a ceiling (build memory is bounded by the largest segment \
+         plus the output index, never the store), whole-section snapshot write, and mmap-backed \
+         MappedIndex open times at 1x/10x/100x of target/100 queries (10k/100k/1M at the \
+         default target). Open must stay flat: it is O(#sections) table validation plus one \
+         mmap, so the 100x index opens in the same milliseconds as the 1x one; heap_decode is \
+         the old full-deserialize cost for contrast. Gates are machine-relative ceilings, not \
+         baseline diffs.\",\n{},\n  \"results_ms\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }},\n  \
+         \"gate\": {{\n    \"max_peak_rss_mb\": {MAX_1M_PEAK_RSS_MB},\n    \
+         \"max_mapped_open_ms_1m\": {MAX_MAPPED_OPEN_MS_1M},\n    \
+         \"max_open_flatness\": {MAX_OPEN_FLATNESS}\n  }}\n}}\n",
+        environment_json(opts),
+        json_map(results, "    "),
+        json_map(derived, "    "),
     )
 }

@@ -116,21 +116,17 @@ pub fn run_incremental<T: Transition>(
     // clean extracts whole untouched blocks (already key-sorted).
     let reused_q: PairVec = prev_queries
         .sorted_pairs()
-        .iter()
-        .filter(|&&(k, _)| {
+        .filter(|&(k, _)| {
             let (a, b) = k.parts();
             !dirty.query_dirty(QueryId(a)) && !dirty.query_dirty(QueryId(b))
         })
-        .copied()
         .collect();
     let reused_a: PairVec = prev_ads
         .sorted_pairs()
-        .iter()
-        .filter(|&&(k, _)| {
+        .filter(|&(k, _)| {
             let (a, b) = k.parts();
             !dirty.ad_dirty(simrankpp_graph::AdId(a)) && !dirty.ad_dirty(simrankpp_graph::AdId(b))
         })
-        .copied()
         .collect();
     let reused_query_pairs = reused_q.len();
     let reused_ad_pairs = reused_a.len();

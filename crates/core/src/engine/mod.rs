@@ -66,7 +66,9 @@ pub mod transition;
 pub use incremental::{run_incremental, IncrementalRun};
 pub use sharded::run_sharded;
 pub use single_source::{top_k_by_mode, DiagonalCorrection, RowWorkspace, SingleSourceEngine};
-pub use transition::{Transition, TransitionFactors, UniformTransition, WeightedTransition};
+pub use transition::{
+    Transition, TransitionFactors, TransitionFactorsArena, UniformTransition, WeightedTransition,
+};
 
 use crate::config::{KernelKind, ShardStrategy, SimrankConfig};
 use crate::scores::ScoreMatrix;

@@ -58,7 +58,7 @@ use simrankpp_util::PairKey;
 /// read-only by every worker.
 #[derive(Debug, Default)]
 pub struct CsrScratch {
-    offsets: Vec<usize>,
+    offsets: Vec<u64>,
     cursor: Vec<usize>,
     cols: Vec<u32>,
     vals: Vec<f64>,
@@ -82,7 +82,10 @@ impl CsrScratch {
     /// (diagonal implicit).
     #[inline]
     fn row(&self, a: u32) -> (&[u32], &[f64]) {
-        let (lo, hi) = (self.offsets[a as usize], self.offsets[a as usize + 1]);
+        let (lo, hi) = (
+            self.offsets[a as usize] as usize,
+            self.offsets[a as usize + 1] as usize,
+        );
         (&self.cols[lo..hi], &self.vals[lo..hi])
     }
 }
@@ -304,7 +307,7 @@ mod tests {
     fn pull_rows_emit_sorted_pairs() {
         let g = figure3_graph();
         let r = run(&g, &cfg(5, KernelKind::Pull), &UniformTransition);
-        let pairs: Vec<_> = r.queries.sorted_pairs().to_vec();
+        let pairs: Vec<_> = r.queries.sorted_pairs().collect();
         assert!(!pairs.is_empty());
         assert!(pairs.windows(2).all(|w| w[0].0.raw() < w[1].0.raw()));
     }

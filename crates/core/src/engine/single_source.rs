@@ -58,8 +58,8 @@
 
 use crate::config::{EngineMode, SimrankConfig};
 use crate::engine::parallel::run_chunked;
-use crate::engine::transition::{Transition, TransitionFactors};
-use crate::scores::ScoreMatrix;
+use crate::engine::transition::{Transition, TransitionFactorsArena};
+use crate::scores::ScoreMatrixArena;
 use simrankpp_graph::{AdId, ClickGraph, QueryId};
 use simrankpp_util::TopK;
 
@@ -107,11 +107,11 @@ impl DiagonalCorrection {
     /// to (near-)convergence for the correction to be exact.
     pub fn from_scores(
         g: &ClickGraph,
-        factors: &TransitionFactors,
+        factors: &TransitionFactorsArena<'_>,
         c1: f64,
         c2: f64,
-        queries: &ScoreMatrix,
-        ads: &ScoreMatrix,
+        queries: &ScoreMatrixArena<'_>,
+        ads: &ScoreMatrixArena<'_>,
     ) -> Self {
         let mut d_query = vec![1.0; g.n_queries()];
         for q in g.queries() {
@@ -160,7 +160,11 @@ impl DiagonalCorrection {
     /// chunk-parallel across `threads` — then Gauss–Seidel sweeps solve the
     /// system: every row's diagonal coefficient dominates (the `j = 0` term
     /// contributes a full 1), so the sweeps contract with factor ≈ `c`.
-    pub fn estimate(g: &ClickGraph, factors: &TransitionFactors, config: &SimrankConfig) -> Self {
+    pub fn estimate(
+        g: &ClickGraph,
+        factors: &TransitionFactorsArena<'_>,
+        config: &SimrankConfig,
+    ) -> Self {
         let c1 = config.c1;
         let c2 = config.c2;
         let c = c1 * c2;
@@ -365,7 +369,7 @@ impl RowWorkspace {
     fn forward(
         &mut self,
         g: &ClickGraph,
-        f: &TransitionFactors,
+        f: &TransitionFactorsArena<'_>,
         u0: &[(u32, f64)],
         levels: usize,
         prune: f64,
@@ -406,10 +410,12 @@ impl RowWorkspace {
 /// answer per-query rows and top-k requests.
 ///
 /// Holds no reference to the graph; pass the *same* graph to every method
-/// (checked only by side cardinality).
+/// (checked only by side cardinality). The factors may borrow from a
+/// serialized arena ([`TransitionFactorsArena::from_bytes`]) — the sweeps
+/// then run directly over the mapped bytes.
 #[derive(Debug)]
-pub struct SingleSourceEngine {
-    factors: TransitionFactors,
+pub struct SingleSourceEngine<'f> {
+    factors: TransitionFactorsArena<'f>,
     correction: DiagonalCorrection,
     c1: f64,
     c: f64,
@@ -417,7 +423,7 @@ pub struct SingleSourceEngine {
     prune: f64,
 }
 
-impl SingleSourceEngine {
+impl<'f> SingleSourceEngine<'f> {
     /// Builds the engine for `g`, estimating the diagonal correction (the
     /// one-off precompute of this mode — everything per-query afterwards).
     pub fn new<T: Transition>(g: &ClickGraph, config: &SimrankConfig, transition: &T) -> Self {
@@ -430,7 +436,7 @@ impl SingleSourceEngine {
     /// [`DiagonalCorrection::from_scores`] oracle).
     pub fn with_correction(
         config: &SimrankConfig,
-        factors: TransitionFactors,
+        factors: TransitionFactorsArena<'f>,
         correction: DiagonalCorrection,
     ) -> Self {
         config.validate().expect("invalid SimRank configuration");
@@ -596,7 +602,7 @@ mod tests {
     fn exact_engine(
         g: &ClickGraph,
         config: &SimrankConfig,
-    ) -> (engine::EngineRun, SingleSourceEngine) {
+    ) -> (engine::EngineRun, SingleSourceEngine<'static>) {
         let run = engine::run(g, config, &UniformTransition);
         let factors = UniformTransition.factors(g);
         let d = DiagonalCorrection::from_scores(

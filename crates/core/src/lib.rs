@@ -49,11 +49,12 @@ pub mod weighted;
 pub use config::{EngineMode, KernelKind, ShardStrategy, SimrankConfig};
 pub use engine::{
     run_incremental, top_k_by_mode, DiagonalCorrection, IncrementalRun, RowWorkspace,
-    SingleSourceEngine, Transition, TransitionFactors, UniformTransition, WeightedTransition,
+    SingleSourceEngine, Transition, TransitionFactors, TransitionFactorsArena, UniformTransition,
+    WeightedTransition,
 };
 pub use evidence::{evidence_exponential, evidence_geometric, EvidenceKind};
 pub use method::{Method, MethodKind};
 pub use rewriter::{Rewrite, Rewriter, RewriterConfig};
-pub use scores::{ScoreMatrix, ScoreMatrixBuilder};
+pub use scores::{ScoreMatrix, ScoreMatrixArena, ScoreMatrixBuilder};
 pub use simrank::{simrank, SimrankResult};
 pub use weighted::{weighted_simrank, WeightedSimrankResult};

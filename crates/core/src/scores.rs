@@ -4,8 +4,18 @@
 //! only off-diagonal unordered pairs in a hash map ([`ScoreMatrixBuilder`]),
 //! then freeze into a per-node sorted adjacency form ([`ScoreMatrix`]) for
 //! fast `get`, per-node top-k, and iteration.
+//!
+//! Since the zero-copy refactor the frozen form is [`ScoreMatrixArena`]: a
+//! set of `Cow` slices that either own their storage (the engine-build
+//! path, `ScoreMatrix = ScoreMatrixArena<'static>`) or borrow directly from
+//! the 8-aligned sections of a serialized arena
+//! ([`ScoreMatrixArena::from_bytes`]), so mapped score files are readable
+//! without copying a byte.
 
+use simrankpp_util::arena::{AlignedBytes, Arena, ArenaWriter};
 use simrankpp_util::{FxHashMap, PairKey};
+use std::borrow::Cow;
+use std::io::{self, Write};
 
 /// Fills a flat symmetric CSR arena (`offsets`/`partners`/`scores`) from a
 /// key-sorted, duplicate-free pair list, reusing the caller's buffers.
@@ -22,7 +32,7 @@ use simrankpp_util::{FxHashMap, PairKey};
 pub(crate) fn fill_sym_csr(
     n: usize,
     pairs: &[(PairKey, f64)],
-    offsets: &mut Vec<usize>,
+    offsets: &mut Vec<u64>,
     cursor: &mut Vec<usize>,
     partners: &mut Vec<u32>,
     scores: &mut Vec<f64>,
@@ -41,13 +51,13 @@ pub(crate) fn fill_sym_csr(
     for i in 0..n {
         offsets[i + 1] += offsets[i];
     }
-    let nnz = offsets[n];
+    let nnz = offsets[n] as usize;
     partners.clear();
     partners.resize(nnz, 0);
     scores.clear();
     scores.resize(nnz, 0.0);
     cursor.clear();
-    cursor.extend_from_slice(&offsets[..n]);
+    cursor.extend(offsets[..n].iter().map(|&o| o as usize));
     for &(k, v) in pairs {
         let (a, b) = k.parts();
         let (ai, bi) = (a as usize, b as usize);
@@ -58,9 +68,11 @@ pub(crate) fn fill_sym_csr(
         scores[cursor[bi]] = v;
         cursor[bi] += 1;
     }
-    debug_assert!((0..n).all(|r| partners[offsets[r]..offsets[r + 1]]
-        .windows(2)
-        .all(|w| w[0] < w[1])));
+    debug_assert!(
+        (0..n).all(|r| partners[offsets[r] as usize..offsets[r + 1] as usize]
+            .windows(2)
+            .all(|w| w[0] < w[1]))
+    );
 }
 
 /// Accumulating builder: an unordered-pair → score map.
@@ -174,7 +186,7 @@ impl ScoreMatrixBuilder {
         let mut sorted: Vec<(PairKey, f64)> =
             self.entries.into_iter().filter(|&(_, v)| v > 0.0).collect();
         sorted.sort_unstable_by_key(|&(k, _)| k.raw());
-        ScoreMatrix::from_sorted_pairs(self.n, sorted)
+        ScoreMatrixArena::from_sorted_pairs(self.n, sorted)
     }
 
     /// Read access during iteration: score of `(a, b)` with unit diagonal.
@@ -200,31 +212,53 @@ impl ScoreMatrixBuilder {
 ///
 /// The per-node view is a flat CSR arena (`offsets`/`partners`/`scores`)
 /// rather than the historical `Vec<Vec<(u32, f64)>>`: one allocation per
-/// side instead of one per node, `O(1)` [`ScoreMatrix::row`] slice views,
-/// and the layout the pull kernel consumes directly.
+/// side instead of one per node, `O(1)` [`ScoreMatrixArena::row`] slice
+/// views, and the layout the pull kernel consumes directly.
+///
+/// Every slice is a `Cow`: the engine-build path owns its storage (the
+/// [`ScoreMatrix`] alias, `'static`), while [`ScoreMatrixArena::from_bytes`]
+/// borrows all five arrays straight out of an arena's 8-aligned sections —
+/// read paths are identical, and nothing is copied when serving from a
+/// mapped file.
 #[derive(Debug, Clone, Default)]
-pub struct ScoreMatrix {
+pub struct ScoreMatrixArena<'a> {
     n: usize,
-    /// Off-diagonal pairs sorted by packed key; scores are strictly positive.
-    pairs: Vec<(PairKey, f64)>,
+    /// Packed [`PairKey`]s of the off-diagonal pairs, strictly ascending.
+    pair_keys: Cow<'a, [u64]>,
+    /// Scores aligned with `pair_keys`; strictly positive.
+    pair_scores: Cow<'a, [f64]>,
     /// Row bounds into `partners`/`scores`: node `a`'s row is
     /// `offsets[a]..offsets[a + 1]`. Length `n + 1`.
-    offsets: Vec<usize>,
+    offsets: Cow<'a, [u64]>,
     /// Partner ids, ascending within each row.
-    partners: Vec<u32>,
+    partners: Cow<'a, [u32]>,
     /// Scores aligned with `partners`.
-    scores: Vec<f64>,
+    scores: Cow<'a, [f64]>,
 }
 
-impl ScoreMatrix {
+/// The owning form of [`ScoreMatrixArena`] — what every engine produces.
+pub type ScoreMatrix = ScoreMatrixArena<'static>;
+
+/// Arena magic for a serialized score matrix.
+const SCM_MAGIC: [u8; 8] = *b"SRPPSCM\0";
+const SCM_VERSION: u32 = 1;
+const SEC_META: u64 = 0x01;
+const SEC_PAIR_KEYS: u64 = 0x02;
+const SEC_PAIR_SCORES: u64 = 0x03;
+const SEC_OFFSETS: u64 = 0x04;
+const SEC_PARTNERS: u64 = 0x05;
+const SEC_SCORES: u64 = 0x06;
+
+impl<'a> ScoreMatrixArena<'a> {
     /// An empty matrix (all off-diagonal scores zero) over `n` nodes.
     pub fn empty(n: usize) -> Self {
-        ScoreMatrix {
+        ScoreMatrixArena {
             n,
-            pairs: Vec::new(),
-            offsets: vec![0; n + 1],
-            partners: Vec::new(),
-            scores: Vec::new(),
+            pair_keys: Cow::Owned(Vec::new()),
+            pair_scores: Cow::Owned(Vec::new()),
+            offsets: Cow::Owned(vec![0; n + 1]),
+            partners: Cow::Owned(Vec::new()),
+            scores: Cow::Owned(Vec::new()),
         }
     }
 
@@ -250,12 +284,19 @@ impl ScoreMatrix {
             &mut partners,
             &mut scores,
         );
-        ScoreMatrix {
+        let mut pair_keys = Vec::with_capacity(pairs.len());
+        let mut pair_scores = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            pair_keys.push(k.raw());
+            pair_scores.push(v);
+        }
+        ScoreMatrixArena {
             n,
-            pairs,
-            offsets,
-            partners,
-            scores,
+            pair_keys: Cow::Owned(pair_keys),
+            pair_scores: Cow::Owned(pair_scores),
+            offsets: Cow::Owned(offsets),
+            partners: Cow::Owned(partners),
+            scores: Cow::Owned(scores),
         }
     }
 
@@ -266,7 +307,12 @@ impl ScoreMatrix {
 
     /// Number of stored (positive, off-diagonal) pairs.
     pub fn n_pairs(&self) -> usize {
-        self.pairs.len()
+        self.pair_keys.len()
+    }
+
+    /// `true` when any slice borrows from an external arena buffer.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.offsets, Cow::Borrowed(_))
     }
 
     /// Score of `(a, b)`: 1 on the diagonal, 0 for unstored pairs.
@@ -281,13 +327,16 @@ impl ScoreMatrix {
     /// The stored off-diagonal pairs in packed-key-sorted order — the
     /// engine's iterate format. The incremental engine filters this list to
     /// carry clean-component blocks into the next generation verbatim.
-    pub fn sorted_pairs(&self) -> &[(PairKey, f64)] {
-        &self.pairs
+    pub fn sorted_pairs(&self) -> impl Iterator<Item = (PairKey, f64)> + '_ {
+        self.pair_keys
+            .iter()
+            .zip(self.pair_scores.iter())
+            .map(|(&k, &v)| (PairKey::from_raw(k), v))
     }
 
     /// All stored `(a, b, score)` with `a < b`, ascending by `(a, b)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
-        self.pairs.iter().map(|&(k, v)| {
+        self.sorted_pairs().map(|(k, v)| {
             let (a, b) = k.parts();
             (a, b, v)
         })
@@ -297,8 +346,91 @@ impl ScoreMatrix {
     /// ascending partner ids and their scores.
     #[inline]
     pub fn row(&self, a: u32) -> (&[u32], &[f64]) {
-        let (lo, hi) = (self.offsets[a as usize], self.offsets[a as usize + 1]);
+        let (lo, hi) = (
+            self.offsets[a as usize] as usize,
+            self.offsets[a as usize + 1] as usize,
+        );
         (&self.partners[lo..hi], &self.scores[lo..hi])
+    }
+
+    /// Serializes into the shared arena container (see
+    /// [`simrankpp_util::arena`]): six 8-aligned sections, each written as
+    /// one byte-slice `write_all`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<u64> {
+        let meta = [self.n as u64];
+        let mut a = ArenaWriter::new(SCM_MAGIC, SCM_VERSION);
+        a.slice(SEC_META, &meta)
+            .slice(SEC_PAIR_KEYS, &self.pair_keys)
+            .slice(SEC_PAIR_SCORES, &self.pair_scores)
+            .slice(SEC_OFFSETS, &self.offsets)
+            .slice(SEC_PARTNERS, &self.partners)
+            .slice(SEC_SCORES, &self.scores);
+        a.write_to(w)
+    }
+
+    /// Serializes into a fresh 8-aligned buffer.
+    pub fn to_arena_bytes(&self) -> AlignedBytes {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("Vec writes are infallible");
+        AlignedBytes::copy_from(&buf)
+    }
+
+    /// Reconstructs a matrix whose slices *borrow* from `bytes` (which must
+    /// be 8-aligned, e.g. a mapped file or an
+    /// [`AlignedBytes`] buffer). No payload is copied; engines and top-k
+    /// reads run directly over the arena sections.
+    pub fn from_bytes(bytes: &'a [u8]) -> Result<ScoreMatrixArena<'a>, String> {
+        let a = Arena::parse(bytes, SCM_MAGIC)?;
+        if a.version() != SCM_VERSION {
+            return Err(format!(
+                "unsupported score-matrix arena version {} (expected {SCM_VERSION})",
+                a.version()
+            ));
+        }
+        let meta = a.slice::<u64>(SEC_META)?;
+        let n = *meta.first().ok_or("empty meta section")? as usize;
+        let pair_keys = a.slice::<u64>(SEC_PAIR_KEYS)?;
+        let pair_scores = a.slice::<f64>(SEC_PAIR_SCORES)?;
+        let offsets = a.slice::<u64>(SEC_OFFSETS)?;
+        let partners = a.slice::<u32>(SEC_PARTNERS)?;
+        let scores = a.slice::<f64>(SEC_SCORES)?;
+        if pair_keys.len() != pair_scores.len() {
+            return Err("pair key/score sections disagree in length".into());
+        }
+        if offsets.len() != n + 1 {
+            return Err(format!(
+                "offsets section has {} entries (expected n + 1 = {})",
+                offsets.len(),
+                n + 1
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets section is not monotone".into());
+        }
+        let nnz = *offsets.last().unwrap_or(&0) as usize;
+        if partners.len() != nnz || scores.len() != nnz {
+            return Err("partner/score sections disagree with offsets".into());
+        }
+        Ok(ScoreMatrixArena {
+            n,
+            pair_keys: Cow::Borrowed(pair_keys),
+            pair_scores: Cow::Borrowed(pair_scores),
+            offsets: Cow::Borrowed(offsets),
+            partners: Cow::Borrowed(partners),
+            scores: Cow::Borrowed(scores),
+        })
+    }
+
+    /// Deep-copies into the owning form (detaches from a borrowed arena).
+    pub fn to_owned_matrix(&self) -> ScoreMatrix {
+        ScoreMatrixArena {
+            n: self.n,
+            pair_keys: Cow::Owned(self.pair_keys.to_vec()),
+            pair_scores: Cow::Owned(self.pair_scores.to_vec()),
+            offsets: Cow::Owned(self.offsets.to_vec()),
+            partners: Cow::Owned(self.partners.to_vec()),
+            scores: Cow::Owned(self.scores.to_vec()),
+        }
     }
 
     /// The stored partners of node `a` with their scores, ascending by id.
@@ -315,7 +447,8 @@ impl ScoreMatrix {
         out
     }
 
-    /// As [`ScoreMatrix::top_k`], but writing into `out` (cleared first) so
+    /// As [`ScoreMatrixArena::top_k`], but writing into `out` (cleared
+    /// first) so
     /// batched per-node extraction reuses one buffer instead of allocating
     /// per call. NaN scores are skipped (as [`TopK`](simrankpp_util::TopK)
     /// does), keeping the comparator total; selection is O(m) + O(k log k)
@@ -340,13 +473,13 @@ impl ScoreMatrix {
 
     /// Largest absolute score difference against another matrix over the
     /// union of stored pairs (convergence / engine cross-check metric).
-    pub fn max_abs_diff(&self, other: &ScoreMatrix) -> f64 {
+    pub fn max_abs_diff(&self, other: &ScoreMatrixArena<'_>) -> f64 {
         let mut max = 0.0f64;
-        for &(k, v) in &self.pairs {
+        for (k, v) in self.sorted_pairs() {
             let (a, b) = k.parts();
             max = max.max((v - other.get(a, b)).abs());
         }
-        for &(k, v) in &other.pairs {
+        for (k, v) in other.sorted_pairs() {
             let (a, b) = k.parts();
             max = max.max((v - self.get(a, b)).abs());
         }
@@ -498,9 +631,9 @@ mod tests {
         b.set(0, 1, 0.4);
         b.set(0, 2, 0.7);
         let mut m = b.build();
-        let lo = m.offsets[0];
+        let lo = m.offsets[0] as usize;
         assert_eq!(m.partners[lo], 1);
-        m.scores[lo] = f64::NAN; // partner id 1 of node 0
+        m.scores.to_mut()[lo] = f64::NAN; // partner id 1 of node 0
         let mut buf = Vec::new();
         m.top_k_into(0, 3, &mut buf);
         assert_eq!(buf, vec![(2, 0.7)]);
@@ -557,6 +690,43 @@ mod tests {
         let mb = b.build();
         assert!((ma.max_abs_diff(&mb) - 0.5).abs() < 1e-12);
         assert!((mb.max_abs_diff(&ma) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_roundtrip_borrows_and_matches() {
+        let mut b = ScoreMatrixBuilder::new(5);
+        b.set(0, 1, 0.5);
+        b.set(2, 4, 0.25);
+        b.set(0, 4, 0.125);
+        let m = b.build();
+        let bytes = m.to_arena_bytes();
+        let v = ScoreMatrixArena::from_bytes(bytes.as_slice()).unwrap();
+        assert!(v.is_borrowed() && !m.is_borrowed());
+        assert_eq!(v.n_nodes(), 5);
+        assert_eq!(v.n_pairs(), m.n_pairs());
+        assert_eq!(m.max_abs_diff(&v), 0.0);
+        for a in 0..5 {
+            assert_eq!(m.row(a), v.row(a), "row {a}");
+            assert_eq!(m.top_k(a, 3), v.top_k(a, 3));
+        }
+        assert!(m.sorted_pairs().eq(v.sorted_pairs()));
+        // Detaching copies the slices back onto the heap.
+        let o = v.to_owned_matrix();
+        assert!(!o.is_borrowed());
+        assert_eq!(o.row(0), m.row(0));
+    }
+
+    #[test]
+    fn arena_from_bytes_refuses_corruption() {
+        let mut b = ScoreMatrixBuilder::new(3);
+        b.set(0, 2, 0.5);
+        let bytes = b.build().to_arena_bytes();
+        // Truncated buffer.
+        assert!(ScoreMatrixArena::from_bytes(&bytes.as_slice()[..40]).is_err());
+        // Wrong magic.
+        let mut wrong = bytes.as_slice().to_vec();
+        wrong[0] ^= 0xff;
+        assert!(ScoreMatrixArena::from_bytes(&wrong).is_err());
     }
 
     #[test]

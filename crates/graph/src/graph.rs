@@ -232,6 +232,44 @@ impl ClickGraph {
         }
     }
 
+    /// A deterministic FNV-1a digest of the graph's full logical content:
+    /// node counts, the forward CSR (offsets, neighbors, per-edge weights bit
+    /// patterns), and display names in id order. Two graphs with equal
+    /// fingerprints have identical CSR arrays and name tables — the backward
+    /// CSR is a function of the forward one, so it needs no separate hashing.
+    /// Used by the segmented-store differential tests to assert bit-for-bit
+    /// reconstruction.
+    pub fn fingerprint(&self) -> u64 {
+        use simrankpp_util::{bytes_of, fnv1a_seeded};
+        let mut h = fnv1a_seeded(
+            simrankpp_util::fnv1a(&[]),
+            &(self.n_queries() as u64).to_ne_bytes(),
+        );
+        h = fnv1a_seeded(h, &(self.n_ads() as u64).to_ne_bytes());
+        h = fnv1a_seeded(h, bytes_of(&self.q_offsets));
+        for &a in &self.q_nbrs {
+            h = fnv1a_seeded(h, &a.0.to_ne_bytes());
+        }
+        for e in &self.q_edges {
+            h = fnv1a_seeded(h, &e.impressions.to_ne_bytes());
+            h = fnv1a_seeded(h, &e.clicks.to_ne_bytes());
+            h = fnv1a_seeded(h, &e.expected_click_rate.to_bits().to_ne_bytes());
+        }
+        for interner in [&self.query_names, &self.ad_names] {
+            match interner {
+                None => h = fnv1a_seeded(h, &[0]),
+                Some(i) => {
+                    h = fnv1a_seeded(h, &[1]);
+                    for (_, name) in i.iter() {
+                        h = fnv1a_seeded(h, &(name.len() as u64).to_ne_bytes());
+                        h = fnv1a_seeded(h, name.as_bytes());
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Checks structural invariants; used by tests and after deserialization.
     ///
     /// Verified: offset monotonicity, neighbor sortedness + in-range ids,

@@ -35,6 +35,7 @@ pub mod graph;
 pub mod ids;
 pub mod interner;
 pub mod io;
+pub mod segments;
 pub mod sharding;
 pub mod stats;
 pub mod subgraph;
@@ -46,5 +47,8 @@ pub use edge::{EdgeData, WeightKind};
 pub use graph::ClickGraph;
 pub use ids::{AdId, NodeRef, QueryId};
 pub use interner::Interner;
+pub use segments::{
+    component_segments, write_segmented, Segment, SegmentInfo, SegmentWriter, SegmentedStore,
+};
 pub use sharding::{Shard, Sharding};
 pub use stats::{DegreeHistogram, GraphStats};

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! serve build <graph.tsv> <out.idx> [method] [shard]   offline: TSV graph → snapshot
+//! serve build <store.seg> <out.idx> [method]   segment-at-a-time build: peak memory
+//!                                              bounded by the largest segment
 //! serve build --fixture fig3 <out.idx> [method] [shard]   (the paper's Figure 3 graph)
-//! serve run <index.idx>                        online: line protocol on stdin/stdout
+//! serve segment <graph.tsv> <out.seg> [target-nodes]   TSV graph → segmented store
+//! serve run <index.idx>                        online: line protocol on stdin/stdout;
+//!                                              the snapshot is mmap-ed and served
+//!                                              zero-copy (O(ms) startup at any size)
 //! serve run --graph <graph.tsv> [method] [shard]   build in memory, then serve
 //!                                              (enables the `update` protocol verb)
 //! serve run --graph <graph.tsv> --mode single-source   skip the offline build: every
@@ -38,16 +43,19 @@ use simrankpp_graph::delta::{apply_named, read_delta_tsv};
 use simrankpp_graph::fixtures::figure3_graph;
 use simrankpp_graph::{
     io::{read_tsv, write_tsv},
-    ClickGraph, WeightKind,
+    write_segmented, ClickGraph, SegmentedStore, WeightKind,
 };
-use simrankpp_serve::{serve_session, LiveContext, RewriteIndex, ServeState, UpdateContext};
+use simrankpp_serve::{
+    serve_session, LiveContext, MappedIndex, RewriteIndex, ServeState, UpdateContext,
+};
 use std::fs::File;
 use std::io::{self, BufReader};
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  serve build <graph.tsv>|--fixture fig3 <out.idx> [method] [shard]
+  serve build <graph.tsv>|<store.seg>|--fixture fig3 <out.idx> [method] [shard]
+  serve segment <graph.tsv> <out.seg> [target-nodes-per-segment]
   serve run <index.idx>
   serve run --graph <graph.tsv> [method] [shard] [--mode all-pairs|single-source] [--cache-capacity N]
   serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3 [out.idx] [--write-graph <path>]
@@ -55,12 +63,15 @@ const USAGE: &str = "usage:
 method: naive | pearson | simrank | evidence | weighted (default weighted)
 shard:  components | off | extracted:K (default components; exact)
 mode:   all-pairs (default; precompute every row offline) | single-source
-        (no offline build: rows computed per query on demand, LRU-cached)";
+        (no offline build: rows computed per query on demand, LRU-cached)
+a .seg input (see `serve segment`) builds the index one segment at a time:
+peak memory is bounded by the largest segment, not the whole graph";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => build(&args[1..]),
+        Some("segment") => segment(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("update") => update(&args[1..]),
         Some("info") => info(&args[1..]),
@@ -149,6 +160,37 @@ fn build_index(graph: &ClickGraph, kind: MethodKind, sharding: ShardStrategy) ->
 }
 
 fn build(args: &[String]) -> Result<(), String> {
+    // A segmented store builds without ever holding the whole graph.
+    if let Some(path) = args.first().filter(|p| p.ends_with(".seg")) {
+        let out = args.get(1).ok_or(USAGE.to_owned())?;
+        let kind = method_kind(args.get(2).map(String::as_str).unwrap_or("weighted"))?;
+        let mut store =
+            SegmentedStore::open(path.as_ref()).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let t0 = Instant::now();
+        let config = serve_config(ShardStrategy::Components);
+        let index = RewriteIndex::build_segmented(
+            &mut store,
+            kind,
+            &config,
+            RewriterConfig::default(),
+            None,
+        )
+        .map_err(|e| format!("segmented build failed: {e}"))?;
+        eprintln!(
+            "built {} over {} segments ({} queries, {} rewrites) in {:.1?} — \
+             peak memory bounded by the largest segment",
+            kind.name(),
+            store.n_segments(),
+            index.n_queries(),
+            index.n_entries(),
+            t0.elapsed()
+        );
+        index
+            .save(out)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("snapshot written to {out}");
+        return Ok(());
+    }
     let (graph, rest) = match args.first().map(String::as_str) {
         Some("--fixture") => {
             let name = args.get(1).ok_or(USAGE.to_owned())?;
@@ -166,6 +208,36 @@ fn build(args: &[String]) -> Result<(), String> {
         .save(out)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("snapshot written to {out}");
+    Ok(())
+}
+
+/// Converts a TSV click graph into a segmented store: component-group
+/// segments of roughly `target` nodes each, every segment a self-contained
+/// sub-graph blob.
+fn segment(args: &[String]) -> Result<(), String> {
+    let src = args.first().ok_or(USAGE.to_owned())?;
+    let out = args.get(1).ok_or(USAGE.to_owned())?;
+    let target: usize = match args.get(2) {
+        Some(t) => t
+            .parse()
+            .map_err(|e| format!("bad target-nodes-per-segment: {e}\n{USAGE}"))?,
+        None => 100_000,
+    };
+    let graph = load_graph(src, false)?;
+    let t0 = Instant::now();
+    let bytes = write_segmented(&graph, out.as_ref(), target)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let store =
+        SegmentedStore::open(out.as_ref()).map_err(|e| format!("cannot reopen {out}: {e}"))?;
+    eprintln!(
+        "segmented {} queries / {} ads / {} edges into {} segment(s), {} bytes, in {:.1?}",
+        store.total_queries(),
+        store.total_ads(),
+        store.total_edges(),
+        store.n_segments(),
+        bytes,
+        t0.elapsed()
+    );
     Ok(())
 }
 
@@ -266,6 +338,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     bid_filtered: false,
                     approx_sharding: false,
                     kernel: config.kernel,
+                    segments: 0,
                 };
                 let t0 = Instant::now();
                 let live = LiveContext::new(graph, kind, config, RewriterConfig::default())?;
@@ -291,16 +364,22 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         Some(path) => {
-            let index = RewriteIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            // Zero-copy open: O(#sections) regardless of index size — the
+            // row arrays are served straight out of the mapped file bytes.
+            let t0 = Instant::now();
+            let index = MappedIndex::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
             eprintln!(
-                "loaded {}: {} queries, {} rewrites ({}); snapshot mode, `update` disabled \
-                 (use `serve update` offline or `run --graph`)",
+                "opened {}: {} queries, {} rewrites ({}) via {} ({} bytes) in {:.2?}; \
+                 snapshot mode, `update` disabled (use `serve update` offline or `run --graph`)",
                 path,
                 index.n_queries(),
                 index.n_entries(),
-                index.meta().method.name()
+                index.meta().method.name(),
+                index.backing_kind(),
+                index.file_len(),
+                t0.elapsed()
             );
-            ServeState::fixed(index)
+            ServeState::mapped(index)
         }
         None => return Err(USAGE.to_owned()),
     };
@@ -397,13 +476,12 @@ fn update(args: &[String]) -> Result<(), String> {
 
 fn info(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE.to_owned())?;
-    let index = RewriteIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let index = MappedIndex::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    index
+        .verify_deep()
+        .map_err(|e| format!("snapshot is corrupt: {e}"))?;
     let covered = (0..index.n_queries())
-        .filter(|&q| {
-            !index
-                .rewrites_of(simrankpp_graph::QueryId(q as u32))
-                .is_empty()
-        })
+        .filter(|&q| !index.row(simrankpp_graph::QueryId(q as u32)).0.is_empty())
         .count();
     println!("snapshot        {path}");
     println!("method          {}", index.meta().method.name());
@@ -411,6 +489,12 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("bid filtered    {}", index.meta().bid_filtered);
     println!("approx sharding {}", index.meta().approx_sharding);
     println!("engine kernel   {:?}", index.meta().kernel);
+    println!("backing         {}", index.backing_kind());
+    println!("file bytes      {}", index.file_len());
+    match index.meta().segments {
+        0 => println!("segments        0 (monolithic build)"),
+        n => println!("segments        {n}"),
+    }
     println!("queries         {}", index.n_queries());
     println!("rewrites        {}", index.n_entries());
     println!(

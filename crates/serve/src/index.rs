@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 use simrankpp_core::{KernelKind, Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
-use simrankpp_graph::{ClickGraph, DirtyComponents, Interner, QueryId, Sharding};
+use simrankpp_graph::{ClickGraph, DirtyComponents, Interner, QueryId, SegmentedStore, Sharding};
 use simrankpp_util::FxHashSet;
 
 /// Provenance carried by an index (and through snapshots): what produced the
@@ -47,6 +47,13 @@ pub struct IndexMeta {
     /// (binary snapshots via the version check, JSON via the missing
     /// field), matching the v1→v2 `approx_sharding` precedent.
     pub kernel: KernelKind,
+    /// How many segments of a [`simrankpp_graph::SegmentedStore`] the index
+    /// was built from — `0` for a monolithic in-memory build. Provenance
+    /// only: segmented and monolithic builds over the same graph are
+    /// bit-identical (both decompose exactly by component), so nothing
+    /// refuses on a mismatch; the count surfaces in `serve info`.
+    #[serde(default)]
+    pub segments: u32,
 }
 
 /// One recomputed row during an incremental rebuild: the global query index
@@ -142,6 +149,7 @@ impl RewriteIndex {
                 bid_filtered: bid_terms.is_some(),
                 approx_sharding: false,
                 kernel: rewriter.method().kernel(),
+                segments: 0,
             },
             n_queries: g.n_queries() as u32,
             offsets,
@@ -149,6 +157,130 @@ impl RewriteIndex {
             scores,
             names: g.query_interner().cloned(),
         }
+    }
+
+    /// Builds the index from a [`SegmentedStore`] **one segment at a time**:
+    /// peak memory is bounded by the largest segment plus the (flat,
+    /// row-cap-bounded) output arena, never the whole graph.
+    ///
+    /// Segments hold whole connected components and their local ids are
+    /// monotone in global ids, so per-segment method computation and the
+    /// §9.3 pipeline produce rows bit-identical to a monolithic
+    /// [`RewriteIndex::build`] over [`SegmentedStore::load_all`] — including
+    /// equal-score tie-breaks. `bid_terms` are global query ids and are
+    /// remapped into each segment.
+    pub fn build_segmented(
+        store: &mut SegmentedStore,
+        kind: MethodKind,
+        config: &SimrankConfig,
+        rewriter_config: RewriterConfig,
+        bid_terms: Option<&FxHashSet<QueryId>>,
+    ) -> std::io::Result<RewriteIndex> {
+        fn bad(msg: String) -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+        }
+
+        let n_total = usize::try_from(store.total_queries())
+            .map_err(|_| bad("store query count overflows usize".into()))?;
+        let has_names = store.has_names();
+        let mut rows: Vec<Option<Vec<(u32, f64)>>> = vec![None; n_total];
+        let mut names: Vec<(u32, String)> = Vec::with_capacity(if has_names { n_total } else { 0 });
+        let mut kernel = None;
+
+        for i in 0..store.n_segments() {
+            let seg = store.load_segment(i)?;
+            let method = Method::compute(kind, &seg.graph, config);
+            kernel = Some(method.kernel());
+            let rewriter = Rewriter::new(&seg.graph, method, rewriter_config);
+            let local_bids: Option<FxHashSet<QueryId>> = bid_terms.map(|bids| {
+                seg.queries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &global)| bids.contains(&QueryId(global)))
+                    .map(|(local, _)| QueryId(local as u32))
+                    .collect()
+            });
+            let mut row = Vec::new();
+            for (local, &global) in seg.queries.iter().enumerate() {
+                rewriter.rewrite_ids_into(QueryId(local as u32), local_bids.as_ref(), &mut row);
+                let global_row: Vec<(u32, f64)> = row
+                    .iter()
+                    .map(|&(t, s)| (seg.queries[t.index()], s))
+                    .collect();
+                let slot = rows.get_mut(global as usize).ok_or_else(|| {
+                    bad(format!(
+                        "segment {i}: global query id {global} out of range"
+                    ))
+                })?;
+                if slot.replace(global_row).is_some() {
+                    return Err(bad(format!(
+                        "global query id {global} appears in more than one segment"
+                    )));
+                }
+                if has_names {
+                    let name = seg
+                        .graph
+                        .query_name(QueryId(local as u32))
+                        .ok_or_else(|| bad(format!("segment {i}: query {local} has no name")))?;
+                    names.push((global, name.to_string()));
+                }
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(n_total + 1);
+        let mut targets = Vec::new();
+        let mut scores = Vec::new();
+        offsets.push(0u32);
+        let mut total = 0u64;
+        for (q, slot) in rows.into_iter().enumerate() {
+            let row =
+                slot.ok_or_else(|| bad(format!("global query id {q} missing from every segment")))?;
+            total += row.len() as u64;
+            if total >= u64::from(u32::MAX) {
+                return Err(bad("index exceeds u32 arena offsets".into()));
+            }
+            offsets.push(total as u32);
+            for (t, s) in row {
+                targets.push(t);
+                scores.push(s);
+            }
+        }
+
+        let interner = if has_names {
+            names.sort_unstable_by_key(|a| a.0);
+            let mut interner = Interner::new();
+            for (expect, (global, name)) in names.iter().enumerate() {
+                if *global != expect as u32 {
+                    return Err(bad(format!(
+                        "query id {expect} missing or duplicated across segment name maps"
+                    )));
+                }
+                if interner.intern(name) != *global {
+                    return Err(bad(format!(
+                        "duplicate query name {name:?} across segments"
+                    )));
+                }
+            }
+            Some(interner)
+        } else {
+            None
+        };
+
+        Ok(RewriteIndex {
+            meta: IndexMeta {
+                method: kind,
+                max_rewrites: rewriter_config.max_rewrites as u32,
+                bid_filtered: bid_terms.is_some(),
+                approx_sharding: false,
+                kernel: kernel.unwrap_or(config.kernel),
+                segments: store.n_segments() as u32,
+            },
+            n_queries: n_total as u32,
+            offsets,
+            targets,
+            scores,
+            names: interner,
+        })
     }
 
     /// Rebuilds only the **dirty** queries' rows after a graph delta,
@@ -380,8 +512,13 @@ impl RewriteIndex {
     /// Name-keyed lookup for the serving front door.
     #[inline]
     pub fn lookup(&self, name: &str) -> Option<RewriteSet<'_>> {
-        let id = self.names.as_ref()?.get(name)?;
-        Some(self.rewrites_of(QueryId(id)))
+        Some(self.rewrites_of(self.lookup_id(name)?))
+    }
+
+    /// Resolves a query display name to its id.
+    #[inline]
+    pub fn lookup_id(&self, name: &str) -> Option<QueryId> {
+        Some(QueryId(self.names.as_ref()?.get(name)?))
     }
 
     /// The display name of an indexed query, when names were recorded.

@@ -14,6 +14,11 @@
 //!   queries' rows after a click-graph delta, copying clean rows verbatim.
 //! * [`snapshot`] — versioned, checksummed binary persistence plus
 //!   serde-JSON, so an index is built once and loaded by server processes.
+//!   Format v4 is an 8-aligned section arena written section-at-a-time.
+//! * [`mmap`]/[`mapped`] — zero-copy loading: [`MappedIndex`] serves rows
+//!   straight out of the snapshot file's bytes (`mmap` with a heap-read
+//!   fallback), so startup is O(#sections) regardless of index size;
+//!   [`ServingIndex`] unifies heap and mapped indexes behind one surface.
 //! * [`swap`] — a hand-rolled `ArcSwap`-style [`AtomicHandle`] so a new
 //!   index generation hot-swaps in while requests keep being answered.
 //! * [`server`] — the stdin/stdout line protocol (`rewrite <query>`,
@@ -25,12 +30,16 @@
 //!   rows backing that fallback; invalidated on every `update` hot-swap.
 
 pub mod index;
+pub mod mapped;
+pub mod mmap;
 pub mod rowcache;
 pub mod server;
 pub mod snapshot;
 pub mod swap;
 
 pub use index::{IndexMeta, RebuildStats, RewriteIndex, RewriteSet};
+pub use mapped::{MappedIndex, ServingIndex};
+pub use mmap::Backing;
 pub use rowcache::{CacheStats, RowCache};
 pub use server::{serve_lines, serve_session, LiveContext, ServeState, UpdateContext};
 pub use swap::AtomicHandle;

@@ -63,6 +63,7 @@
 //! half-written response line.
 
 use crate::index::RewriteIndex;
+use crate::mapped::{MappedIndex, ServingIndex};
 use crate::rowcache::RowCache;
 use crate::swap::AtomicHandle;
 use simrankpp_core::weighted::SpreadMode;
@@ -109,7 +110,7 @@ pub struct LiveContext {
     method: MethodKind,
     config: SimrankConfig,
     rewriter: RewriterConfig,
-    engine: SingleSourceEngine,
+    engine: SingleSourceEngine<'static>,
     ws: RowWorkspace,
 }
 
@@ -267,18 +268,31 @@ impl LiveState {
 
 /// A running server's shared state: the hot-swappable index handle plus the
 /// optional update context and the optional live single-source fallback.
+/// The handle holds a [`ServingIndex`], so a zero-copy mapped snapshot and
+/// a heap index are served (and hot-swapped) through the same machinery.
 #[derive(Debug)]
 pub struct ServeState {
-    index: AtomicHandle<RewriteIndex>,
+    index: AtomicHandle<ServingIndex>,
     update: Option<Mutex<UpdateContext>>,
     live: Option<LiveState>,
 }
 
 impl ServeState {
-    /// A server over a frozen index (snapshot mode): `update` is refused.
+    /// A server over a frozen heap index (snapshot mode): `update` is
+    /// refused.
     pub fn fixed(index: RewriteIndex) -> ServeState {
         ServeState {
-            index: AtomicHandle::new(index),
+            index: AtomicHandle::new(ServingIndex::Heap(index)),
+            update: None,
+            live: None,
+        }
+    }
+
+    /// A server over a zero-copy mapped snapshot — rows are served straight
+    /// out of the file's bytes.
+    pub fn mapped(index: MappedIndex) -> ServeState {
+        ServeState {
+            index: AtomicHandle::new(ServingIndex::Mapped(index)),
             update: None,
             live: None,
         }
@@ -287,7 +301,7 @@ impl ServeState {
     /// A server that can apply deltas and hot-swap index generations.
     pub fn updatable(index: RewriteIndex, ctx: UpdateContext) -> ServeState {
         ServeState {
-            index: AtomicHandle::new(index),
+            index: AtomicHandle::new(ServingIndex::Heap(index)),
             update: Some(Mutex::new(ctx)),
             live: None,
         }
@@ -310,7 +324,7 @@ impl ServeState {
     }
 
     /// The swappable index handle (for out-of-band readers and tests).
-    pub fn handle(&self) -> &AtomicHandle<RewriteIndex> {
+    pub fn handle(&self) -> &AtomicHandle<ServingIndex> {
         &self.index
     }
 
@@ -333,14 +347,33 @@ impl ServeState {
             let (new_graph, delta) = apply_named(&ctx.graph, &ops)?;
             let dirty = delta.dirty_components(&new_graph);
             let old = self.index.load();
-            let (next, stats) =
-                old.rebuild_incremental(&new_graph, &dirty, &ctx.config, &ctx.rewriter, None)?;
+            // A mapped generation is decoded to the heap first (deep-verified
+            // in the process); the rebuilt generation always serves from the
+            // heap — the snapshot file on disk is a build artifact, not the
+            // live truth, once updates start landing.
+            let owned;
+            let old_index: &RewriteIndex = match &*old {
+                ServingIndex::Heap(i) => i,
+                ServingIndex::Mapped(m) => {
+                    owned = m
+                        .to_owned_index()
+                        .map_err(|e| format!("cannot decode mapped index: {e}"))?;
+                    &owned
+                }
+            };
+            let (next, stats) = old_index.rebuild_incremental(
+                &new_graph,
+                &dirty,
+                &ctx.config,
+                &ctx.rewriter,
+                None,
+            )?;
             // Rebuild the live side first: if it fails, the old index
             // generation and old live context both keep serving.
             if let Some(live) = self.live.as_ref() {
                 live.rebuild(new_graph.clone())?;
             }
-            self.index.swap(next);
+            self.index.swap(ServingIndex::Heap(next));
             ctx.graph = new_graph;
             Ok(stats)
         } else if let Some(live) = self.live.as_ref() {
@@ -435,12 +468,19 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                 let index = state.index.load();
                 write!(
                     out,
-                    "info\tmethod={}\tqueries={}\tentries={}\tkernel={:?}",
+                    "info\tmethod={}\tqueries={}\tentries={}\tkernel={:?}\tbacking={}",
                     index.meta().method.name(),
                     index.n_queries(),
                     index.n_entries(),
-                    index.meta().kernel
+                    index.meta().kernel,
+                    index.backing()
                 )?;
+                if let Some(len) = index.file_len() {
+                    write!(out, "\tfile_bytes={len}")?;
+                }
+                if index.meta().segments > 0 {
+                    write!(out, "\tsegments={}", index.meta().segments)?;
+                }
                 match state.cache_stats() {
                     Some(s) => writeln!(
                         out,
@@ -474,16 +514,17 @@ pub fn serve_lines<R: BufRead, W: Write>(index: &RewriteIndex, input: R, out: W)
 
 fn respond<W: Write>(
     state: &ServeState,
-    index: &RewriteIndex,
+    index: &ServingIndex,
     query: &str,
     out: &mut W,
 ) -> io::Result<()> {
-    if let Some(set) = index.lookup(query) {
-        write!(out, "ok\t{}\t{}", clean(query), set.len())?;
-        for (id, score, name) in set.iter() {
-            match name {
+    if let Some(q) = index.lookup(query) {
+        let (targets, scores) = index.row(q);
+        write!(out, "ok\t{}\t{}", clean(query), targets.len())?;
+        for (&id, &score) in targets.iter().zip(scores) {
+            match index.query_name(QueryId(id)) {
                 Some(n) => write!(out, "\t{}\t{score:.6}", clean(n))?,
-                None => write!(out, "\t#{}\t{score:.6}", id.0)?,
+                None => write!(out, "\t#{id}\t{score:.6}")?,
             }
         }
         return writeln!(out);
@@ -775,6 +816,7 @@ mod tests {
             bid_filtered: false,
             approx_sharding: false,
             kernel: simrankpp_core::KernelKind::default(),
+            segments: 0,
         }
     }
 

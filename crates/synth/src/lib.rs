@@ -13,6 +13,8 @@
 //!   impressions / clicks / expected click rate per edge (§2's weights);
 //! * [`generator`] — assembles the world + click simulation into a
 //!   [`ClickGraph`](simrankpp_graph::ClickGraph) and ground-truth [`World`];
+//! * [`federation`] — streams many independent worlds into one segmented
+//!   on-disk store, one segment per world, for beyond-RAM-scale benches;
 //! * [`editorial`] — a deterministic stand-in for Yahoo!'s editorial team:
 //!   grades (query, rewrite) pairs 1–4 per Table 6's rubric from the
 //!   planted ground truth;
@@ -24,6 +26,7 @@
 pub mod bids;
 pub mod clickmodel;
 pub mod editorial;
+pub mod federation;
 pub mod generator;
 pub mod powerlaw;
 pub mod spam;
@@ -32,6 +35,7 @@ pub mod traffic;
 
 pub use clickmodel::ClickModel;
 pub use editorial::{EditorialJudge, Grade};
+pub use federation::{write_federation, write_store, FederationStats, FEDERATION_SEED_BASE};
 pub use generator::{GeneratorConfig, SynthDataset};
 pub use powerlaw::ZipfSampler;
 pub use topics::World;

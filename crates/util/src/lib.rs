@@ -9,11 +9,16 @@
 //! * [`stats`] — online mean/variance (Welford) and small numeric helpers.
 //! * [`pairs`] — canonical symmetric pair keys for score matrices.
 
+pub mod arena;
 pub mod fx;
 pub mod pairs;
 pub mod stats;
 pub mod topk;
 
+pub use arena::{
+    bytes_of, cast_slice, fnv1a, fnv1a_seeded, AlignedBytes, Arena, ArenaWriter, Pod, ENDIAN_MARK,
+    HEADER_BYTES, TABLE_ENTRY_BYTES,
+};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pairs::PairKey;
 pub use stats::{population_variance, OnlineStats};

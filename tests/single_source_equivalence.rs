@@ -200,6 +200,7 @@ mod serve_cache {
             bid_filtered: false,
             approx_sharding: false,
             kernel: cfg.kernel,
+            segments: 0,
         };
         let names: Vec<String> = g
             .queries()
