@@ -20,7 +20,13 @@
 //! * the single-source engine must answer one linearized top-k query at
 //!   least 50× faster than a full all-pairs run over the same graph — the
 //!   ratio the on-demand mode exists to deliver (measured in-process, so
-//!   machine-relative like the kernel gates).
+//!   machine-relative like the kernel gates);
+//! * the `serve_tcp` closed-loop series (real loopback sockets against an
+//!   in-process threaded `NetServer`) must show 8 concurrent clients
+//!   delivering at least 1.2× the QPS of a single client on runners with
+//!   ≥ 4 cores — machine-relative, so a serializing server fails for a real
+//!   reason; on smaller runners the gate degrades to a ≥ 0.5× collapse
+//!   guard, since one core gives 8 threads nothing to overlap with.
 //!
 //! ```text
 //! bench_ci [--quick] [--out-dir DIR] [--check] [--baseline-dir DIR]
@@ -51,7 +57,8 @@ use simrankpp_graph::{
     AdId, ClickGraph, ClickGraphBuilder, EdgeData, GraphDelta, QueryId, SegmentedStore, WeightKind,
 };
 use simrankpp_serve::{
-    serve_session, IndexMeta, LiveContext, MappedIndex, RewriteIndex, ServeState,
+    serve_session, IndexMeta, LiveContext, MappedIndex, NetConfig, NetServer, RewriteIndex,
+    ServeState,
 };
 use simrankpp_synth::federation::write_store;
 use simrankpp_synth::generator::{generate, GeneratorConfig};
@@ -105,6 +112,24 @@ const MIN_FLAT_VS_HASHMAP: f64 = 1.2;
 /// headline series; 1.3× leaves room for runner noise while still failing
 /// if the pull path ever regresses toward the flat path.
 const MIN_PULL_VS_FLAT: f64 = 1.3;
+
+/// Closed-loop requests each TCP load-generator client sends per run.
+const TCP_REQS_PER_CLIENT: usize = 400;
+
+/// Floor on the TCP throughput win of 8 closed-loop clients over 1,
+/// machine-relative (both sides measured against the same in-process server
+/// on this runner). Thread-per-connection serving exists to overlap
+/// per-connection syscall latency; if 8 clients can't beat one client's QPS
+/// by at least this factor, connections are serializing somewhere. Applied
+/// only where the runner has cores to overlap (≥ 4).
+const MIN_TCP_CONCURRENCY_SPEEDUP: f64 = 1.2;
+
+/// On runners with < 4 cores there is no parallelism for 8 clients to win
+/// with — thread-per-connection can only tie 1 client there, minus
+/// scheduling overhead. The gate degrades to a collapse guard: anything
+/// below this means connections are blocking each other outright (a held
+/// lock across request handling), not just sharing a core.
+const MIN_TCP_NO_COLLAPSE: f64 = 0.5;
 
 /// Ceiling on the `--tier 1m` segmented build's peak RSS (VmHWM). The whole
 /// point of the segmented pipeline is that build memory is bounded by the
@@ -221,10 +246,10 @@ fn main() {
     }
 
     let (engine_results, engine_speedups) = engine_series(&opts, reps);
-    let serve_results = serve_series(reps);
+    let (serve_results, serve_derived) = serve_series(reps);
 
     let engine_json = render_engine_json(&opts, &engine_results, &engine_speedups);
-    let serve_json = render_serve_json(&opts, &serve_results);
+    let serve_json = render_serve_json(&opts, &serve_results, &serve_derived);
     std::fs::create_dir_all(&opts.out_dir).expect("cannot create --out-dir");
     let engine_path = format!("{}/BENCH_engine.json", opts.out_dir);
     let serve_path = format!("{}/BENCH_serve.json", opts.out_dir);
@@ -233,7 +258,7 @@ fn main() {
     eprintln!("wrote {engine_path} and {serve_path}");
 
     if opts.check {
-        let failures = check(&opts, &engine_results, &engine_speedups);
+        let failures = check(&opts, &engine_results, &engine_speedups, &serve_derived);
         if !failures.is_empty() {
             eprintln!("bench-check FAILED:");
             for f in &failures {
@@ -514,8 +539,59 @@ fn engine_series(opts: &Options, reps: usize) -> (BTreeMap<String, f64>, BTreeMa
     (r, speedups)
 }
 
-fn serve_series(reps: usize) -> BTreeMap<String, f64> {
+/// One closed-loop TCP load run: `clients` connections each round-tripping
+/// `reqs` `rewrite` requests against the server at `addr`. Returns
+/// `(p50_ms, p99_ms, qps)` over the merged per-request latencies.
+fn tcp_load(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    reqs: usize,
+    names: &[String],
+) -> (f64, f64, f64) {
+    use std::io::{BufRead, BufReader, Write};
+    let t0 = Instant::now();
+    let mut lat: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let stream = std::net::TcpStream::connect(addr).expect("connect load client");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut writer = stream;
+                    let mut lat = Vec::with_capacity(reqs);
+                    let mut req = String::new();
+                    let mut line = String::new();
+                    for i in 0..reqs {
+                        let name = &names[(c * reqs + i) % names.len()];
+                        req.clear();
+                        req.push_str("rewrite ");
+                        req.push_str(name);
+                        req.push('\n');
+                        let t = Instant::now();
+                        writer.write_all(req.as_bytes()).expect("send request");
+                        line.clear();
+                        reader.read_line(&mut line).expect("read response");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert!(line.starts_with("ok\t"), "load answer: {line:?}");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+    (pct(0.50), pct(0.99), (clients * reqs) as f64 / wall)
+}
+
+fn serve_series(reps: usize) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
     let mut r = BTreeMap::new();
+    let mut derived = BTreeMap::new();
     let cfg = SimrankConfig::default()
         .with_iterations(5)
         .with_prune_threshold(1e-4);
@@ -561,7 +637,53 @@ fn serve_series(reps: usize) -> BTreeMap<String, f64> {
             RewriteIndex::read_snapshot(buf.as_slice()).expect("snapshot read")
         }),
     );
-    drop(index);
+    drop(names);
+
+    eprintln!("serve: TCP closed-loop series (10k standard graph, in-process server)");
+    // The load generator speaks the real wire protocol against a real
+    // in-process NetServer on loopback: closed-loop (each client waits for
+    // its answer before sending the next request), 1 client for the
+    // single-connection floor and 8 for the concurrency headline.
+    let load_names: Vec<String> = (0..1000u32)
+        .filter_map(|i| index.query_name(QueryId((i * 7919) % n)))
+        .map(str::to_owned)
+        .collect();
+    let server = NetServer::bind(
+        std::sync::Arc::new(ServeState::fixed(index)),
+        NetConfig::default(),
+    )
+    .expect("bind bench server");
+    let addr = server.local_addr().expect("bench server addr");
+    let signal = server.shutdown_signal();
+    let server_join = std::thread::spawn(move || server.serve());
+    tcp_load(addr, 1, 50, &load_names); // connection + cache warmup
+    for clients in [1usize, 8] {
+        // Median-QPS run of `reps` keeps the committed numbers stable; the
+        // percentiles come from that same run so they describe one load.
+        let mut runs: Vec<(f64, f64, f64)> = (0..reps)
+            .map(|_| tcp_load(addr, clients, TCP_REQS_PER_CLIENT, &load_names))
+            .collect();
+        runs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite qps"));
+        let (p50, p99, qps) = runs[runs.len() / 2];
+        r.insert(format!("serve_tcp/clients{clients}_p50_ms"), p50);
+        r.insert(format!("serve_tcp/clients{clients}_p99_ms"), p99);
+        derived.insert(format!("tcp_qps_clients{clients}"), qps);
+        eprintln!(
+            "serve: tcp clients={clients}: p50 {:.0} us, p99 {:.0} us, {:.0} qps",
+            p50 * 1e3,
+            p99 * 1e3,
+            qps
+        );
+    }
+    derived.insert(
+        "tcp_qps_scaling_8_vs_1".to_owned(),
+        derived["tcp_qps_clients8"] / derived["tcp_qps_clients1"],
+    );
+    signal.trigger();
+    server_join
+        .join()
+        .expect("bench server thread")
+        .expect("bench server serve");
     drop(rewriter);
 
     eprintln!("serve: single-source cold/warm series (10k standard graph, 100 queries/rep)");
@@ -652,7 +774,7 @@ fn serve_series(reps: usize) -> BTreeMap<String, f64> {
                 .expect("incremental rebuild")
         }),
     );
-    r
+    (r, derived)
 }
 
 /// Peak resident set size of this process in MB (Linux `VmHWM`), `None`
@@ -816,8 +938,26 @@ fn check(
     opts: &Options,
     engine_results: &BTreeMap<String, f64>,
     engine_speedups: &BTreeMap<String, f64>,
+    serve_derived: &BTreeMap<String, f64>,
 ) -> Vec<String> {
     let mut failures = Vec::new();
+
+    let tcp = serve_derived["tcp_qps_scaling_8_vs_1"];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (tcp_floor, tcp_rule) = if cores >= 4 {
+        (MIN_TCP_CONCURRENCY_SPEEDUP, "scaling")
+    } else {
+        (MIN_TCP_NO_COLLAPSE, "no-collapse; runner has < 4 cores")
+    };
+    if tcp < tcp_floor {
+        failures.push(format!(
+            "8 TCP clients deliver only {tcp:.2}x the QPS of 1 client \
+             (floor: {tcp_floor}x [{tcp_rule}], machine-relative) — \
+             connections are serializing"
+        ));
+    } else {
+        eprintln!("gate ok: tcp 8-client {tcp:.2}x vs 1 (floor {tcp_floor}x [{tcp_rule}])");
+    }
 
     let inc = engine_speedups["incremental_single_component_vs_full"];
     if inc < MIN_INCREMENTAL_SPEEDUP {
@@ -961,23 +1101,39 @@ fn render_engine_json(
     )
 }
 
-fn render_serve_json(opts: &Options, results: &BTreeMap<String, f64>) -> String {
-    let speedup = results["serve_10k_incremental/full_rebuild_ms"]
-        / results["serve_10k_incremental/incremental_update_ms"];
-    let cache_speedup = results["serve_10k_single_source/cold_query_x100_ms"]
-        / results["serve_10k_single_source/warm_query_x100_ms"];
+fn render_serve_json(
+    opts: &Options,
+    results: &BTreeMap<String, f64>,
+    serve_derived: &BTreeMap<String, f64>,
+) -> String {
+    let mut derived = serve_derived.clone();
+    derived.insert(
+        "speedup_incremental_vs_full_rebuild".to_owned(),
+        results["serve_10k_incremental/full_rebuild_ms"]
+            / results["serve_10k_incremental/incremental_update_ms"],
+    );
+    derived.insert(
+        "speedup_warm_vs_cold_query".to_owned(),
+        results["serve_10k_single_source/cold_query_x100_ms"]
+            / results["serve_10k_single_source/warm_query_x100_ms"],
+    );
     format!(
         "{{\n  \"bench\": \"bench_ci (serve)\",\n  \"description\": \"Wall-clock medians for \
          the serving layer on 10k-query synth graphs: precomputed-index lookups, offline \
          t1 index build and snapshot round-trip (standard graph), incremental index \
-         rebuild vs full rebuild after a world-0 delta (federated8), and live single-source \
+         rebuild vs full rebuild after a world-0 delta (federated8), live single-source \
          serving over an empty index: 100 cold (never-asked, computed on demand) vs 100 warm \
-         (row-cache hit) queries per rep. Weighted SimRank, 5 iterations, prune_threshold \
-         1e-4.\",\n{},\n  \"results_ms\": {{\n{}\n  }},\n  \
-         \"derived\": {{\n    \"speedup_incremental_vs_full_rebuild\": {speedup:.2},\n    \
-         \"speedup_warm_vs_cold_query\": {cache_speedup:.2}\n  }}\n}}\n",
+         (row-cache hit) queries per rep, and the serve_tcp series: closed-loop load against \
+         an in-process threaded NetServer on loopback ({} requests per client per run, \
+         median-QPS run of the reps), p50/p99 per-request latency in results_ms and QPS in \
+         derived for 1 and 8 concurrent clients. tcp_qps_scaling_8_vs_1 is gated \
+         machine-relative (floor {}x). Weighted SimRank, 5 iterations, prune_threshold \
+         1e-4.\",\n{},\n  \"results_ms\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        TCP_REQS_PER_CLIENT,
+        MIN_TCP_CONCURRENCY_SPEEDUP,
         environment_json(opts),
         json_map(results, "    "),
+        json_map(&derived, "    "),
     )
 }
 

@@ -323,6 +323,15 @@ impl Accum {
         self.val[i as usize] += v;
     }
 
+    /// Zeroes every touched entry without emitting: the recovery path for an
+    /// accumulator an abandoned (panicked) computation left dirty.
+    fn reset(&mut self) {
+        for &i in &self.touched {
+            self.val[i as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+
     /// Moves the accumulated entries (ascending id, pruned at `prune`) into
     /// `out`, resetting the accumulator for reuse.
     fn drain_into(&mut self, prune: f64, out: &mut Vec<(u32, f64)>) {
@@ -480,6 +489,12 @@ impl<'f> SingleSourceEngine<'f> {
             g.n_queries(),
             "workspace sized for another graph"
         );
+        // The accumulators are normally left clean by drain_into, but a call
+        // that panicked mid-sweep (the serving layer reuses one workspace
+        // across requests and recovers its lock from poisoning) leaves them
+        // dirty; resetting at entry makes every call self-contained.
+        ws.acc_q.reset();
+        ws.acc_a.reset();
         ws.forward(g, &self.factors, &[(q.0, 1.0)], self.levels, self.prune);
         // Backward Horner: v ← A(c·B·v + C1·d_A⊙y_j) + d_Q⊙u_j, j = J..0.
         ws.v.clear();
@@ -768,5 +783,27 @@ mod tests {
         assert!(0.64f64.powi(j as i32 + 1) / 0.36 <= 1e-8);
         assert!(0.64f64.powi(j as i32) / 0.36 > 1e-8);
         assert_eq!(levels_for(0.0, 1e-8), 0);
+    }
+
+    #[test]
+    fn dirty_workspace_is_reset_at_entry() {
+        // A computation that panicked mid-sweep leaves garbage in the dense
+        // accumulators (drain_into never ran). The next row_into on the same
+        // workspace must not inherit it.
+        let g = figure3_graph();
+        let config = converged();
+        let (_, ss) = exact_engine(&g, &config);
+        let camera = g.query_by_name("camera").unwrap();
+        let clean = ss.row(&g, camera);
+
+        let mut ws = RowWorkspace::new(g.n_queries(), g.n_ads());
+        // Simulate the abandoned call: touched-but-undrained entries on both
+        // sides, exactly what an unwound forward/backward sweep leaves.
+        ws.acc_q.add(0, 123.0);
+        ws.acc_q.add(2, -7.5);
+        ws.acc_a.add(1, 55.0);
+        let mut row = Vec::new();
+        ss.row_into(&g, camera, &mut ws, &mut row);
+        assert_eq!(row, clean, "dirty accumulators leaked into the next row");
     }
 }

@@ -14,6 +14,11 @@
 //! serve run --graph <graph.tsv> --mode single-source   skip the offline build: every
 //!                                              query is computed live on demand and
 //!                                              cached (bounded LRU, see --cache-capacity)
+//! serve listen --addr 0.0.0.0:7878 --admin 127.0.0.1:7879 <index.idx>|--graph ...
+//!                                              threaded TCP server: same protocol and
+//!                                              sources as `run`; data plane serves
+//!                                              rewrite/quit, the admin plane adds
+//!                                              batch/update/info/shutdown
 //! serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3
 //!              [out.idx] [--write-graph <path>]    incremental: refresh dirty rows only
 //! serve info <index.idx>                       print snapshot header + stats
@@ -46,7 +51,7 @@ use simrankpp_graph::{
     write_segmented, ClickGraph, SegmentedStore, WeightKind,
 };
 use simrankpp_serve::{
-    serve_session, LiveContext, MappedIndex, RewriteIndex, ServeState, UpdateContext,
+    serve_session, LiveContext, MappedIndex, NetServer, RewriteIndex, ServeState, UpdateContext,
 };
 use std::fs::File;
 use std::io::{self, BufReader};
@@ -58,6 +63,7 @@ const USAGE: &str = "usage:
   serve segment <graph.tsv> <out.seg> [target-nodes-per-segment]
   serve run <index.idx>
   serve run --graph <graph.tsv> [method] [shard] [--mode all-pairs|single-source] [--cache-capacity N]
+  serve listen [--addr H:P] [--admin H:P] [--max-connections N] [--read-timeout-secs S] <same sources as run>
   serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3 [out.idx] [--write-graph <path>]
   serve info <index.idx>
 method: naive | pearson | simrank | evidence | weighted (default weighted)
@@ -73,6 +79,7 @@ fn main() -> ExitCode {
         Some("build") => build(&args[1..]),
         Some("segment") => segment(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("listen") => listen(&args[1..]),
         Some("update") => update(&args[1..]),
         Some("info") => info(&args[1..]),
         _ => {
@@ -287,12 +294,27 @@ fn build_state(
     })
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Options shared by `run` (stdin/stdout) and `listen` (TCP): index source,
+/// serving mode, and — for `listen` — the listener shape.
+struct ServeOptions {
+    mode: String,
+    cache_capacity: usize,
+    net: simrankpp_serve::NetConfig,
+    positional: Vec<String>,
+}
+
+fn parse_serve_options(args: &[String], listen: bool) -> Result<ServeOptions, String> {
     // Peel the flagged options off; what remains keeps the historical
     // positional shape (`--graph <path> [method] [shard]` or `<index.idx>`).
-    let mut mode = "all-pairs".to_owned();
-    let mut cache_capacity = 4096usize;
-    let mut positional: Vec<&str> = Vec::new();
+    let mut opts = ServeOptions {
+        mode: "all-pairs".to_owned(),
+        cache_capacity: 4096,
+        net: simrankpp_serve::NetConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            ..simrankpp_serve::NetConfig::default()
+        },
+        positional: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         let flag_value = |name: &str| {
@@ -302,25 +324,56 @@ fn run(args: &[String]) -> Result<(), String> {
         };
         match args[i].as_str() {
             "--mode" => {
-                mode = flag_value("--mode")?;
+                opts.mode = flag_value("--mode")?;
                 i += 2;
             }
             "--cache-capacity" => {
-                cache_capacity = flag_value("--cache-capacity")?
+                opts.cache_capacity = flag_value("--cache-capacity")?
                     .parse()
                     .map_err(|e| format!("bad --cache-capacity: {e}\n{USAGE}"))?;
                 i += 2;
             }
+            "--addr" if listen => {
+                opts.net.addr = flag_value("--addr")?;
+                i += 2;
+            }
+            "--admin" if listen => {
+                opts.net.admin_addr = Some(flag_value("--admin")?);
+                i += 2;
+            }
+            "--max-connections" if listen => {
+                opts.net.max_connections = flag_value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-connections: {e}\n{USAGE}"))?;
+                i += 2;
+            }
+            "--read-timeout-secs" if listen => {
+                let secs: u64 = flag_value("--read-timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --read-timeout-secs: {e}\n{USAGE}"))?;
+                // 0 disables the timeout (a stalled peer then pins its
+                // handler thread — test/bench use only).
+                opts.net.read_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+                i += 2;
+            }
             other => {
-                positional.push(other);
+                opts.positional.push(other.to_owned());
                 i += 1;
             }
         }
     }
-    if !matches!(mode.as_str(), "all-pairs" | "single-source") {
-        return Err(format!("unknown mode {mode:?}\n{USAGE}"));
+    if !matches!(opts.mode.as_str(), "all-pairs" | "single-source") {
+        return Err(format!("unknown mode {:?}\n{USAGE}", opts.mode));
     }
+    Ok(opts)
+}
 
+/// Assembles the serve state from the parsed positional source — shared by
+/// the stdin and TCP front-ends so both serve identical states.
+fn state_from_options(opts: &ServeOptions) -> Result<ServeState, String> {
+    let mode = opts.mode.as_str();
+    let cache_capacity = opts.cache_capacity;
+    let positional: Vec<&str> = opts.positional.iter().map(String::as_str).collect();
     let state = match positional.first().copied() {
         Some("--graph") => {
             let path = positional.get(1).ok_or(USAGE.to_owned())?;
@@ -383,8 +436,41 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         None => return Err(USAGE.to_owned()),
     };
+    Ok(state)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_serve_options(args, false)?;
+    let state = state_from_options(&opts)?;
     let stdin = io::stdin();
     serve_session(&state, stdin.lock(), io::stdout()).map_err(|e| format!("protocol error: {e}"))
+}
+
+/// TCP front-end: same state assembly as `run`, served concurrently.
+fn listen(args: &[String]) -> Result<(), String> {
+    let opts = parse_serve_options(args, true)?;
+    let state = std::sync::Arc::new(state_from_options(&opts)?);
+    let net = opts.net.clone();
+    let server = NetServer::bind(state, net).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    eprintln!(
+        "data plane listening on {addr} (rewrite/quit; max {} connections, read timeout {:?})",
+        opts.net.max_connections, opts.net.read_timeout
+    );
+    match server.admin_addr() {
+        Some(Ok(admin)) => eprintln!(
+            "admin plane listening on {admin} (batch/update/info/shutdown) — \
+             keep this address off untrusted networks"
+        ),
+        Some(Err(e)) => return Err(format!("cannot resolve admin address: {e}")),
+        None => eprintln!(
+            "no --admin listener: update/info/shutdown are unreachable over the \
+             network (data plane serves rewrite/quit only)"
+        ),
+    }
+    server.serve().map_err(|e| format!("serve failed: {e}"))
 }
 
 fn update(args: &[String]) -> Result<(), String> {

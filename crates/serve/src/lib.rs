@@ -21,17 +21,22 @@
 //!   [`ServingIndex`] unifies heap and mapped indexes behind one surface.
 //! * [`swap`] — a hand-rolled `ArcSwap`-style [`AtomicHandle`] so a new
 //!   index generation hot-swaps in while requests keep being answered.
-//! * [`server`] — the stdin/stdout line protocol (`rewrite <query>`,
-//!   `batch <file>`, `update <delta.tsv>`, `info`) spoken by the `serve`
-//!   binary. A server built with a [`LiveContext`] additionally answers
+//! * [`server`] — the line protocol (`rewrite <query>`, `batch <file>`,
+//!   `update <delta.tsv>`, `info`) spoken by the `serve` binary over stdin
+//!   or TCP. A server built with a [`LiveContext`] additionally answers
 //!   queries the index does not cover by computing their row on demand with
 //!   the single-source engine (`simrankpp_core::SingleSourceEngine`).
+//! * [`net`] — the threaded TCP front-end ([`NetServer`]): bounded
+//!   thread-per-connection pool, split data/admin planes, read timeouts,
+//!   graceful drain, and shared [`ServerMetrics`] counters — all driving
+//!   the same session loop as the pipe.
 //! * [`rowcache`] — the bounded, generation-aware LRU of live-computed
 //!   rows backing that fallback; invalidated on every `update` hot-swap.
 
 pub mod index;
 pub mod mapped;
 pub mod mmap;
+pub mod net;
 pub mod rowcache;
 pub mod server;
 pub mod snapshot;
@@ -40,6 +45,10 @@ pub mod swap;
 pub use index::{IndexMeta, RebuildStats, RewriteIndex, RewriteSet};
 pub use mapped::{MappedIndex, ServingIndex};
 pub use mmap::Backing;
+pub use net::{NetConfig, NetServer, ServerMetrics, ShutdownSignal};
 pub use rowcache::{CacheStats, RowCache};
-pub use server::{serve_lines, serve_session, LiveContext, ServeState, UpdateContext};
+pub use server::{
+    serve_lines, serve_session, serve_session_with, LiveContext, ServeState, SessionOptions,
+    Transport, UpdateContext,
+};
 pub use swap::AtomicHandle;

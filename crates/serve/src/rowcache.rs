@@ -16,9 +16,22 @@
 //! All internal links are index-based (`usize::MAX` as the null sentinel)
 //! over one slot arena with a free list, so `get`/`insert`/evict are O(1)
 //! and eviction recycles slots without reallocating.
+//!
+//! ## Poisoning
+//!
+//! The internal mutex recovers from poisoning ([`PoisonError::into_inner`])
+//! instead of propagating a previous holder's panic to every later caller:
+//! in the multi-threaded server one panicking handler must not take the
+//! cache — and with it every other connection's next `get` — down. Safety
+//! argument: none of the LRU operations can panic *between* mutations that
+//! must stay paired (link updates complete before map updates are even
+//! attempted, and slot-index arithmetic cannot unwind), and the cache is
+//! evictable data anyway — the worst conceivable inconsistency is a row
+//! served from or dropped out of the wrong recency position, never a wrong
+//! row for a key.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use simrankpp_graph::QueryId;
 use simrankpp_util::FxHashMap;
@@ -117,17 +130,24 @@ impl RowCache {
         }
     }
 
+    /// Locks the LRU, recovering from poisoning (see the module docs: the
+    /// cache holds evictable data only, and no operation leaves half-paired
+    /// mutations behind a panic point).
+    fn lock(&self) -> MutexGuard<'_, Lru> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The current invalidation epoch. Capture this **before** computing a
     /// row and pass it to [`insert`](RowCache::insert) so a swap that lands
     /// mid-computation turns the insert into a no-op.
     pub fn generation(&self) -> u64 {
-        self.inner.lock().unwrap().generation
+        self.lock().generation
     }
 
     /// Looks up the cached row of `q`, marking it most recently used.
     /// Counts a hit or a miss either way.
     pub fn get(&self, q: QueryId) -> Option<Arc<String>> {
-        let mut lru = self.inner.lock().unwrap();
+        let mut lru = self.lock();
         match lru.map.get(&q.0).copied() {
             Some(i) => {
                 lru.unlink(i);
@@ -146,7 +166,7 @@ impl RowCache {
     /// when full. A `generation` older than the current epoch (the cache was
     /// invalidated after the caller started computing) drops the insert.
     pub fn insert(&self, generation: u64, q: QueryId, val: Arc<String>) {
-        let mut lru = self.inner.lock().unwrap();
+        let mut lru = self.lock();
         if generation != lru.generation {
             return;
         }
@@ -186,7 +206,7 @@ impl RowCache {
     /// `update` hot-swap: the new graph's scores share nothing with the old
     /// rows, and a stale hit would silently serve the previous generation.
     pub fn invalidate(&self) {
-        let mut lru = self.inner.lock().unwrap();
+        let mut lru = self.lock();
         lru.generation += 1;
         lru.map.clear();
         lru.free.clear();
@@ -202,7 +222,7 @@ impl RowCache {
 
     /// Occupancy and traffic counters for the `info` verb.
     pub fn stats(&self) -> CacheStats {
-        let lru = self.inner.lock().unwrap();
+        let lru = self.lock();
         CacheStats {
             capacity: lru.capacity,
             entries: lru.map.len(),
@@ -325,5 +345,30 @@ mod tests {
         }
         assert_eq!(lru.tail, prev);
         assert_eq!(seen, lru.map.len());
+    }
+
+    #[test]
+    fn poisoned_cache_keeps_serving() {
+        // A handler thread panics while holding the cache lock — before the
+        // into_inner recovery every later lookup() on every other connection
+        // panicked on the poisoned mutex instead of serving.
+        let c = Arc::new(RowCache::new(4));
+        c.insert(0, QueryId(1), row("a"));
+        let c2 = Arc::clone(&c);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.inner.lock().unwrap();
+            panic!("handler dies mid-hold");
+        })
+        .join();
+        assert!(c.inner.is_poisoned(), "the panic must actually poison");
+        assert_eq!(
+            c.get(QueryId(1)).as_deref().map(String::as_str),
+            Some("a"),
+            "get() must survive a poisoned cache"
+        );
+        c.insert(c.generation(), QueryId(2), row("b"));
+        assert!(c.get(QueryId(2)).is_some(), "insert() must survive too");
+        c.invalidate();
+        assert_eq!(c.stats().entries, 0);
     }
 }

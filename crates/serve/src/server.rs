@@ -61,9 +61,34 @@
 //! after every request *and* on every exit path — EOF, `quit`, and mid-read
 //! I/O errors (a truncated stdin) — so the peer never observes a
 //! half-written response line.
+//!
+//! ## Transports and the permission boundary
+//!
+//! The same session loop drives the local stdin/stdout pipe and every TCP
+//! connection of [`crate::net`] — one code path, so a network answer is
+//! byte-identical to the pipe's by construction. What differs per
+//! [`Transport`] is the *verb surface*:
+//!
+//! * [`Transport::Stdin`] — the operator's own shell: every verb except
+//!   `shutdown` (there is no listener to stop);
+//! * [`Transport::NetData`] — untrusted remote clients: `rewrite` and
+//!   `quit` only. `batch <path>` names a **server-side** file — over TCP
+//!   that verb would echo any readable file (`/etc/passwd`, snapshots,
+//!   delta logs) back through `err`/`miss` lines, so it answers
+//!   `err\tbatch not permitted`. `update`/`info`/`shutdown` are admin
+//!   plane;
+//! * [`Transport::NetAdmin`] — the separately-bound (typically
+//!   loopback-only) admin listener: the full surface plus `shutdown`,
+//!   which drains and stops the whole server.
+//!
+//! Sessions carry optional [`ServerMetrics`] (requests/errors/timeouts are
+//! counted here, connection lifecycle in `net`) and an optional
+//! [`ShutdownSignal`]; a draining server answers the next request of every
+//! open session with `bye\tdraining` and closes it.
 
 use crate::index::RewriteIndex;
 use crate::mapped::{MappedIndex, ServingIndex};
+use crate::net::{ServerMetrics, ShutdownSignal};
 use crate::rowcache::RowCache;
 use crate::swap::AtomicHandle;
 use simrankpp_core::weighted::SpreadMode;
@@ -77,7 +102,8 @@ use simrankpp_text::StemDeduper;
 use std::borrow::Cow;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Replaces frame-breaking characters in an echoed field; borrows (no
 /// allocation) in the normal tab-free case.
@@ -86,6 +112,72 @@ fn clean(field: &str) -> Cow<'_, str> {
         Cow::Owned(field.replace(['\t', '\n', '\r'], " "))
     } else {
         Cow::Borrowed(field)
+    }
+}
+
+/// Which transport a session speaks — the protocol's permission boundary
+/// (see the module docs for the verb surface of each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// The local stdin/stdout pipe: the operator's own shell.
+    #[default]
+    Stdin,
+    /// A network data-plane connection: untrusted remote clients.
+    NetData,
+    /// The network admin plane: operator verbs, including `shutdown`.
+    NetAdmin,
+}
+
+impl Transport {
+    /// Whether `verb` may run on this transport. Unknown verbs pass — they
+    /// fall through to the regular unknown-command error.
+    fn permits(self, verb: &str) -> bool {
+        match verb {
+            "batch" | "update" | "info" | "shutdown" => !matches!(self, Transport::NetData),
+            _ => true,
+        }
+    }
+}
+
+/// Per-session policy and instrumentation: which transport the peer speaks,
+/// where to count traffic, and which shutdown signal to watch (and, for the
+/// admin plane, to trigger).
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// The permission boundary this session runs under.
+    pub transport: Transport,
+    /// Request/error/timeout counters, shared with every other session of
+    /// the same server and reported by the `info` verb.
+    pub metrics: Option<Arc<ServerMetrics>>,
+    /// When present: the session answers `bye\tdraining` and closes as soon
+    /// as it observes the signal, and (admin plane only) the `shutdown`
+    /// verb triggers it.
+    pub shutdown: Option<Arc<ShutdownSignal>>,
+    /// Enables the `debug-panic` verb, which panics the handler thread
+    /// mid-request — the test hook behind the panic-survival suite. Never
+    /// set outside tests.
+    pub debug_verbs: bool,
+}
+
+impl SessionOptions {
+    /// The historical stdin/stdout pipe: full verb surface, no counters.
+    pub fn stdin() -> SessionOptions {
+        SessionOptions::default()
+    }
+
+    /// A network session on `transport` sharing a server's counters and
+    /// shutdown signal.
+    pub fn network(
+        transport: Transport,
+        metrics: Arc<ServerMetrics>,
+        shutdown: Arc<ShutdownSignal>,
+    ) -> SessionOptions {
+        SessionOptions {
+            transport,
+            metrics: Some(metrics),
+            shutdown: Some(shutdown),
+            debug_verbs: false,
+        }
     }
 }
 
@@ -241,8 +333,15 @@ struct LiveState {
 impl LiveState {
     /// Answers `query` from the cache or by live computation; `None` means
     /// the query is not in the graph at all.
+    ///
+    /// Poisoning is recovered ([`PoisonError::into_inner`]): the context's
+    /// only mutable state across requests is the engine workspace, which
+    /// `row_into` resets at entry — a handler that panicked mid-computation
+    /// leaves nothing a later request can observe, and propagating its
+    /// poison would turn every other connection's next cold query into a
+    /// panic.
     fn serve(&self, query: &str) -> Option<Arc<String>> {
-        let mut ctx = self.ctx.lock().expect("live context poisoned");
+        let mut ctx = self.ctx.lock().unwrap_or_else(PoisonError::into_inner);
         let q = ctx.graph.query_by_name(query)?;
         // Capture the generation before computing: an invalidation landing
         // mid-computation turns the insert below into a no-op.
@@ -256,9 +355,12 @@ impl LiveState {
     }
 
     /// Replaces the context with one built over `graph` and drops every
-    /// cached row (they priced the previous generation's scores).
+    /// cached row (they priced the previous generation's scores). Recovers
+    /// a poisoned lock: the replacement is a whole-value assignment of a
+    /// fully-constructed context, consistent no matter what state the
+    /// previous holder left behind.
     fn rebuild(&self, graph: ClickGraph) -> Result<(), String> {
-        let mut ctx = self.ctx.lock().expect("live context poisoned");
+        let mut ctx = self.ctx.lock().unwrap_or_else(PoisonError::into_inner);
         let (method, config, rewriter) = (ctx.method, ctx.config, ctx.rewriter);
         *ctx = LiveContext::new(graph, method, config, rewriter)?;
         self.cache.invalidate();
@@ -275,6 +377,12 @@ pub struct ServeState {
     index: AtomicHandle<ServingIndex>,
     update: Option<Mutex<UpdateContext>>,
     live: Option<LiveState>,
+    /// Serializes [`ServeState::apply_update`]'s whole read–apply–rebuild
+    /// critical section. Without it two concurrent updates can both clone
+    /// the same base graph before either commits, and the later commit
+    /// silently drops the earlier delta (a lost update). Readers never take
+    /// this lock — they stay on the [`AtomicHandle`] fast path.
+    updater: Mutex<()>,
 }
 
 impl ServeState {
@@ -285,6 +393,7 @@ impl ServeState {
             index: AtomicHandle::new(ServingIndex::Heap(index)),
             update: None,
             live: None,
+            updater: Mutex::new(()),
         }
     }
 
@@ -295,6 +404,7 @@ impl ServeState {
             index: AtomicHandle::new(ServingIndex::Mapped(index)),
             update: None,
             live: None,
+            updater: Mutex::new(()),
         }
     }
 
@@ -304,6 +414,7 @@ impl ServeState {
             index: AtomicHandle::new(ServingIndex::Heap(index)),
             update: Some(Mutex::new(ctx)),
             live: None,
+            updater: Mutex::new(()),
         }
     }
 
@@ -339,11 +450,21 @@ impl ServeState {
     /// index is empty) still supports `update`: the delta applies to the
     /// live graph alone, with every query counted as refreshed.
     pub fn apply_update(&self, path: &str) -> Result<crate::index::RebuildStats, String> {
+        // One updater at a time, for the whole read–apply–rebuild–commit
+        // sequence: concurrent updates would otherwise clone the same base
+        // graph and the second commit would silently drop the first delta.
+        // (The live-only path below is where the race used to live — its
+        // graph read and rebuild were two separately-locked regions.)
+        // Poisoning recovered: the guarded token carries no data.
+        let _updates_serialized = self.updater.lock().unwrap_or_else(PoisonError::into_inner);
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         let ops = read_delta_tsv(BufReader::new(file))
             .map_err(|e| format!("cannot parse {path}: {e}"))?;
         if let Some(ctx) = self.update.as_ref() {
-            let mut ctx = ctx.lock().expect("update context poisoned");
+            // Poisoning recovered: the context's only mutation is the
+            // trailing whole-value `ctx.graph` assignment — a holder that
+            // panicked anywhere leaves the previous generation intact.
+            let mut ctx = ctx.lock().unwrap_or_else(PoisonError::into_inner);
             let (new_graph, delta) = apply_named(&ctx.graph, &ops)?;
             let dirty = delta.dirty_components(&new_graph);
             let old = self.index.load();
@@ -378,7 +499,7 @@ impl ServeState {
             Ok(stats)
         } else if let Some(live) = self.live.as_ref() {
             let (new_graph, delta) = {
-                let ctx = live.ctx.lock().expect("live context poisoned");
+                let ctx = live.ctx.lock().unwrap_or_else(PoisonError::into_inner);
                 apply_named(&ctx.graph, &ops)?
             };
             let dirty = delta.dirty_components(&new_graph);
@@ -398,18 +519,68 @@ impl ServeState {
     }
 }
 
-/// Drives the line protocol over any reader/writer pair until EOF or `quit`.
-/// Output is flushed after every request — and on every exit path, including
-/// mid-read I/O errors — so interactive pipes see responses immediately and
-/// a truncated stdin never leaves a half-written response line.
+/// Drives the line protocol over any reader/writer pair until EOF or `quit`,
+/// with the full stdin verb surface and no instrumentation — the historical
+/// single-client entry point, now a thin wrapper over
+/// [`serve_session_with`].
 pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W) -> io::Result<()> {
+    serve_session_with(state, input, out, &SessionOptions::stdin())
+}
+
+/// Writes one `err` response line, counting it when metrics are wired.
+fn err_line<W: Write>(
+    out: &mut W,
+    metrics: Option<&ServerMetrics>,
+    reason: &str,
+    detail: std::fmt::Arguments<'_>,
+) -> io::Result<()> {
+    if let Some(m) = metrics {
+        m.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    writeln!(out, "err\t{reason}\t{detail}")
+}
+
+/// Drives the line protocol over any reader/writer pair until EOF, `quit`,
+/// a read timeout, or server drain — under the permission boundary and
+/// instrumentation of `opts`. Output is flushed after every request — and
+/// on every exit path, including mid-read I/O errors — so interactive pipes
+/// and sockets see responses immediately and a truncated input never leaves
+/// a half-written response line.
+///
+/// A read timeout (`ErrorKind::TimedOut`/`WouldBlock`, produced by a socket
+/// with `set_read_timeout`) is a *clean* exit: the peer stalled, gets a
+/// best-effort `err\tread timeout` line, and the session returns `Ok` — the
+/// connection thread is freed instead of pinned forever.
+pub fn serve_session_with<R: BufRead, W: Write>(
+    state: &ServeState,
+    input: R,
+    out: W,
+    opts: &SessionOptions,
+) -> io::Result<()> {
     let mut out = BufWriter::new(out);
+    let metrics = opts.metrics.as_deref();
     for line in input.lines() {
-        // A truncated or failing stdin must still flush every complete
-        // response written so far before surfacing the error.
         let line = match line {
             Ok(l) => l,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // Stalled peer: free the thread. Best-effort farewell — the
+                // peer may be gone entirely, which must not turn a clean
+                // timeout close into a session error.
+                if let Some(m) = metrics {
+                    m.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = writeln!(out, "err\tread timeout\tclosing stalled connection");
+                let _ = out.flush();
+                return Ok(());
+            }
             Err(e) => {
+                // A truncated or failing input must still flush every
+                // complete response written so far before surfacing.
                 out.flush()?;
                 return Err(e);
             }
@@ -418,14 +589,49 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
         if line.is_empty() {
             continue;
         }
+        // A draining server finishes nothing new: the current request is
+        // answered with the farewell and the session closes, letting the
+        // accept loop's join complete.
+        if opts.shutdown.as_ref().is_some_and(|s| s.is_draining()) {
+            writeln!(out, "bye\tdraining")?;
+            out.flush()?;
+            break;
+        }
         let (cmd, arg) = match line.split_once(' ') {
             Some((c, a)) => (c, a.trim()),
             None => (line, ""),
         };
+        if let Some(m) = metrics {
+            m.served.fetch_add(1, Ordering::Relaxed);
+        }
+        if !opts.transport.permits(cmd) {
+            // The data plane's whole surface is rewrite/quit. `batch` in
+            // particular names a *server-side* file: permitted over TCP it
+            // would echo any readable file back through err/miss lines — a
+            // remote file-disclosure primitive, not a protocol verb.
+            let scope = if cmd == "shutdown" {
+                "admin transport only"
+            } else {
+                "admin or stdin transport only"
+            };
+            err_line(
+                &mut out,
+                metrics,
+                &format!("{cmd} not permitted"),
+                format_args!("{scope}"),
+            )?;
+            out.flush()?;
+            continue;
+        }
         match cmd {
-            "rewrite" => respond(state, &state.index.load(), arg, &mut out)?,
+            "rewrite" => respond(state, &state.index.load(), arg, &mut out, opts)?,
             "batch" => match File::open(arg) {
-                Err(e) => writeln!(out, "err\tcannot read batch file\t{}: {e}", clean(arg))?,
+                Err(e) => err_line(
+                    &mut out,
+                    metrics,
+                    "cannot read batch file",
+                    format_args!("{}: {e}", clean(arg)),
+                )?,
                 Ok(f) => {
                     // One generation serves the whole batch: a mid-batch
                     // hot swap cannot mix generations within the block.
@@ -438,7 +644,12 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                         let q = match q {
                             Ok(q) => q,
                             Err(e) => {
-                                writeln!(out, "err\tbatch read failed\t{}: {e}", clean(arg))?;
+                                err_line(
+                                    &mut out,
+                                    metrics,
+                                    "batch read failed",
+                                    format_args!("{}: {e}", clean(arg)),
+                                )?;
                                 break;
                             }
                         };
@@ -446,7 +657,7 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                         if q.is_empty() || q.starts_with('#') {
                             continue;
                         }
-                        respond(state, &index, q, &mut out)?;
+                        respond(state, &index, q, &mut out, opts)?;
                         served += 1;
                     }
                     writeln!(out, "done\t{served}")?;
@@ -462,7 +673,12 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                     s.n_dirty_components,
                     s.n_clean_components
                 )?,
-                Err(e) => writeln!(out, "err\tupdate failed\t{}", clean(&e))?,
+                Err(e) => err_line(
+                    &mut out,
+                    metrics,
+                    "update failed",
+                    format_args!("{}", clean(&e)),
+                )?,
             },
             "info" => {
                 let index = state.index.load();
@@ -481,6 +697,9 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                 if index.meta().segments > 0 {
                     write!(out, "\tsegments={}", index.meta().segments)?;
                 }
+                if let Some(m) = metrics {
+                    write!(out, "\t{m}")?;
+                }
                 match state.cache_stats() {
                     Some(s) => writeln!(
                         out,
@@ -491,12 +710,41 @@ pub fn serve_session<R: BufRead, W: Write>(state: &ServeState, input: R, out: W)
                     None => writeln!(out, "\trowcache=off")?,
                 }
             }
+            "shutdown" => match opts.shutdown.as_ref() {
+                Some(signal) => {
+                    // Acknowledge first (trigger wakes the accept loops,
+                    // which may tear things down immediately after).
+                    writeln!(out, "bye\tdraining")?;
+                    out.flush()?;
+                    signal.trigger();
+                    break;
+                }
+                None => err_line(
+                    &mut out,
+                    metrics,
+                    "shutdown not available",
+                    format_args!("no network listener on this session"),
+                )?,
+            },
             "quit" => {
                 writeln!(out, "bye")?;
                 out.flush()?;
                 break;
             }
-            _ => writeln!(out, "err\tunknown command\t{}", clean(cmd))?,
+            "debug-panic" if opts.debug_verbs => {
+                // Test hook: a handler thread dying mid-request, with the
+                // response flushed first so the peer can observe the abrupt
+                // close that follows.
+                writeln!(out, "ok\tdebug-panic\tpanicking this handler")?;
+                out.flush()?;
+                panic!("debug-panic verb");
+            }
+            _ => err_line(
+                &mut out,
+                metrics,
+                "unknown command",
+                format_args!("{}", clean(cmd)),
+            )?,
         }
         out.flush()?;
     }
@@ -517,7 +765,14 @@ fn respond<W: Write>(
     index: &ServingIndex,
     query: &str,
     out: &mut W,
+    opts: &SessionOptions,
 ) -> io::Result<()> {
+    let count_err = |out: &mut W, query: &str| {
+        if let Some(m) = opts.metrics.as_deref() {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        writeln!(out, "err\tunknown query\t{}", clean(query))
+    };
     if let Some(q) = index.lookup(query) {
         let (targets, scores) = index.row(q);
         write!(out, "ok\t{}\t{}", clean(query), targets.len())?;
@@ -535,13 +790,15 @@ fn respond<W: Write>(
     if let Some(live) = state.live.as_ref() {
         return match live.serve(query) {
             Some(suffix) => writeln!(out, "ok\t{}{}", clean(query), suffix),
-            None => writeln!(out, "err\tunknown query\t{}", clean(query)),
+            None => count_err(out, query),
         };
     }
     if let Some(ctx) = state.update.as_ref() {
+        // Read-only probe of the update graph: consistent regardless of
+        // where a poisoning panic happened, so recover and keep serving.
         let known = ctx
             .lock()
-            .expect("update context poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .graph
             .query_by_name(query)
             .is_some();
@@ -549,7 +806,7 @@ fn respond<W: Write>(
             return writeln!(out, "miss\t{}", clean(query));
         }
     }
-    writeln!(out, "err\tunknown query\t{}", clean(query))
+    count_err(out, query)
 }
 
 #[cfg(test)]
@@ -979,5 +1236,187 @@ mod tests {
         assert_eq!(fields[..3], ["ok", "z", "1"]);
         assert_eq!(fields[3], "x y");
         assert_eq!(fields.len(), 5);
+    }
+
+    fn run_with(state: &ServeState, input: &str, opts: &SessionOptions) -> String {
+        let mut out = Vec::new();
+        serve_session_with(state, input.as_bytes(), &mut out, opts).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_deltas() {
+        // Two writers race apply_update on the live path. Before the
+        // updater lock, both cloned ctx.graph before either rebuild
+        // committed, so one delta was silently dropped and its query
+        // answered `err\tunknown query` forever after.
+        let state = std::sync::Arc::new(live_state());
+        let dir = std::env::temp_dir();
+        let path_a = dir.join("simrankpp_two_writer_a.tsv");
+        let path_b = dir.join("simrankpp_two_writer_b.tsv");
+        std::fs::write(&path_a, "+\tnewqa\thp.com\t10\t8\t0.8\n").unwrap();
+        std::fs::write(&path_b, "+\tnewqb\thp.com\t10\t8\t0.8\n").unwrap();
+
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            for path in [&path_a, &path_b] {
+                let state = std::sync::Arc::clone(&state);
+                let barrier = std::sync::Arc::clone(&barrier);
+                let arg = path.display().to_string();
+                s.spawn(move || {
+                    barrier.wait();
+                    state.apply_update(&arg).unwrap();
+                });
+            }
+        });
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+
+        let out = run_on(&state, "rewrite newqa\nrewrite newqb\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ok\tnewqa\t"), "delta A lost: {out}");
+        assert!(lines[1].starts_with("ok\tnewqb\t"), "delta B lost: {out}");
+    }
+
+    #[test]
+    fn network_data_plane_rejects_restricted_verbs() {
+        // Over the data plane, `batch` is a remote file-disclosure
+        // primitive (it opens a *server-side* file named by the client) and
+        // update/info/shutdown are management surface — all must be
+        // refused, and the refusal must not close the session.
+        let state = fig3_state();
+        let opts = SessionOptions {
+            transport: Transport::NetData,
+            ..SessionOptions::default()
+        };
+        let out = run_with(
+            &state,
+            "batch /etc/passwd\nupdate x.tsv\ninfo\nshutdown\nrewrite camera\n",
+            &opts,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("err\tbatch not permitted\t"), "{out}");
+        assert!(lines[1].starts_with("err\tupdate not permitted\t"), "{out}");
+        assert!(lines[2].starts_with("err\tinfo not permitted\t"), "{out}");
+        assert!(
+            lines[3].starts_with("err\tshutdown not permitted\t"),
+            "{out}"
+        );
+        assert!(lines[4].starts_with("ok\tcamera\t"), "{out}");
+    }
+
+    #[test]
+    fn admin_transport_keeps_the_full_verb_surface() {
+        let state = fig3_state();
+        let opts = SessionOptions {
+            transport: Transport::NetAdmin,
+            ..SessionOptions::default()
+        };
+        let path = std::env::temp_dir().join("simrankpp_admin_batch_test.txt");
+        std::fs::write(&path, "camera\n").unwrap();
+        let out = run_with(&state, &format!("batch {}\ninfo\n", path.display()), &opts);
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ok\tcamera\t"), "{out}");
+        assert_eq!(lines[1], "done\t1");
+        assert!(lines[2].starts_with("info\t"), "{out}");
+    }
+
+    #[test]
+    fn stdin_shutdown_without_listener_reports_unavailable() {
+        // Stdin permits the verb (it's the operator), but with no network
+        // listener there is nothing to drain.
+        let out = run("shutdown\nrewrite camera\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines[0].starts_with("err\tshutdown not available\t"),
+            "{out}"
+        );
+        assert!(lines[1].starts_with("ok\tcamera\t"), "{out}");
+    }
+
+    #[test]
+    fn debug_panic_verb_is_gated() {
+        let state = fig3_state();
+        // Off by default: an unknown command, not a panic.
+        let out = run_on(&state, "debug-panic\n");
+        assert!(out.starts_with("err\tunknown command\t"), "{out}");
+        // Enabled: panics after flushing its acknowledgement.
+        let opts = SessionOptions {
+            debug_verbs: true,
+            ..SessionOptions::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with(&state, "debug-panic\n", &opts)
+        }));
+        assert!(err.is_err(), "debug-panic must panic when enabled");
+    }
+
+    #[test]
+    fn draining_session_answers_bye_and_closes() {
+        let state = fig3_state();
+        let shutdown = Arc::new(crate::net::ShutdownSignal::new());
+        shutdown.trigger();
+        let opts = SessionOptions {
+            shutdown: Some(shutdown),
+            ..SessionOptions::default()
+        };
+        let out = run_with(&state, "rewrite camera\nrewrite pc\n", &opts);
+        assert_eq!(out, "bye\tdraining\n");
+    }
+
+    /// A reader that times out (as a socket with `set_read_timeout` does)
+    /// after yielding its prefix.
+    struct StallingInput<'a> {
+        prefix: &'a [u8],
+        pos: usize,
+    }
+
+    impl io::Read for StallingInput<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.prefix.len() {
+                let n = buf.len().min(self.prefix.len() - self.pos);
+                buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out"))
+            }
+        }
+    }
+
+    impl BufRead for StallingInput<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.pos < self.prefix.len() {
+                Ok(&self.prefix[self.pos..])
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out"))
+            }
+        }
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn read_timeout_is_a_clean_close_not_an_error() {
+        let state = fig3_state();
+        let metrics = Arc::new(crate::net::ServerMetrics::default());
+        let opts = SessionOptions {
+            metrics: Some(Arc::clone(&metrics)),
+            ..SessionOptions::default()
+        };
+        let mut out = Vec::new();
+        let input = StallingInput {
+            prefix: b"rewrite camera\n",
+            pos: 0,
+        };
+        serve_session_with(&state, input, &mut out, &opts).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ok\tcamera\t"), "{out}");
+        assert_eq!(lines[1], "err\tread timeout\tclosing stalled connection");
+        assert_eq!(metrics.timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.served.load(Ordering::Relaxed), 1);
     }
 }

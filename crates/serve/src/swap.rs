@@ -15,8 +15,18 @@
 //! happy path (vendoring policy: no new dependencies). The mutex makes
 //! `load` a few nanoseconds slower than a true lock-free `ArcSwap`, which
 //! is invisible next to the microsecond-scale protocol I/O per request.
+//!
+//! ## Poisoning
+//!
+//! The mutex guards a single `Arc` slot whose every mutation is one
+//! assignment — there is no intermediate state a panicking holder could
+//! leave behind, so poisoning carries no information here. `load`/`swap`
+//! recover the guard with [`PoisonError::into_inner`] instead of
+//! propagating the panic: in a multi-threaded server one panicking handler
+//! must not turn every subsequent `load` on every other connection into a
+//! cascade of poison panics.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// An atomically swappable shared handle to an immutable value.
 #[derive(Debug)]
@@ -39,10 +49,17 @@ impl<T> AtomicHandle<T> {
         }
     }
 
+    /// Locks the slot, recovering from poisoning: the slot's only mutation
+    /// is an atomic `Arc` replacement, so the data is consistent no matter
+    /// where a previous holder panicked.
+    fn lock(&self) -> MutexGuard<'_, Arc<T>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The current generation. The returned `Arc` stays valid (and keeps
     /// serving its generation) across any number of concurrent swaps.
     pub fn load(&self) -> Arc<T> {
-        self.slot.lock().expect("handle poisoned").clone()
+        self.lock().clone()
     }
 
     /// Publishes `next` as the current generation, returning the previous
@@ -53,7 +70,7 @@ impl<T> AtomicHandle<T> {
 
     /// As [`AtomicHandle::swap`] with an already-shared next generation.
     pub fn swap_arc(&self, next: Arc<T>) -> Arc<T> {
-        std::mem::replace(&mut *self.slot.lock().expect("handle poisoned"), next)
+        std::mem::replace(&mut *self.lock(), next)
     }
 }
 
@@ -94,5 +111,24 @@ mod tests {
         let last = h.load();
         assert_eq!(last.0, last.1);
         assert_eq!(last.0, 1_000);
+    }
+
+    #[test]
+    fn poisoned_handle_keeps_serving() {
+        // One handler thread panics while holding the slot lock — before the
+        // into_inner recovery this poisoned the mutex and every later load()
+        // (i.e. every other connection's next request) panicked too.
+        let h = Arc::new(AtomicHandle::new(7u64));
+        let h2 = Arc::clone(&h);
+        let _ = std::thread::spawn(move || {
+            let _guard = h2.slot.lock().unwrap();
+            panic!("handler dies mid-hold");
+        })
+        .join();
+        assert!(h.slot.is_poisoned(), "the panic must actually poison");
+        assert_eq!(*h.load(), 7, "load() must survive a poisoned slot");
+        let old = h.swap(8);
+        assert_eq!(*old, 7);
+        assert_eq!(*h.load(), 8, "swap() must survive a poisoned slot");
     }
 }
