@@ -30,7 +30,7 @@
 //!
 //! ```text
 //! bench_ci [--quick] [--out-dir DIR] [--check] [--baseline-dir DIR]
-//!          [--tolerance PCT] [--tier default|1m] [--target-queries N]
+//!          [--tolerance PCT] [--tier default|1m|stream] [--target-queries N]
 //! ```
 //!
 //! `--quick` lowers repetitions (graph shapes stay identical, so keys stay
@@ -45,6 +45,20 @@
 //! Its gates are machine-relative ceilings — no committed baseline needed.
 //! `--target-queries` shrinks the tier for smoke runs (labels keep their
 //! nominal 10k/100k/1m names).
+//!
+//! `--tier stream` measures the streaming-ingestion path
+//! (`BENCH_stream.json`): a 2k-query synth graph is replayed through an
+//! `EpochIngestor` one component-slice per epoch at steady state (each
+//! epoch renews exactly the slice the window retires), so every epoch
+//! boundary drives a dirty-component refresh plus hot-swap into a live
+//! `ServeState`. Reported: click-to-serve freshness p50/p95 (first event
+//! of the batch → new generation swapped in), per-epoch refresh
+//! wall-clock p50/p95, and the reused-vs-recomputed row split. Gated: the
+//! median epoch refresh must beat a from-scratch rebuild by a
+//! machine-relative floor, the windowed spam-campaign contamination must
+//! be exactly zero while the unwindowed observer's is positive, and the
+//! freshness/refresh series diff against the committed baseline like the
+//! engine keys.
 
 use simrankpp_core::engine::{self, reference, UniformTransition, WeightedTransition};
 use simrankpp_core::montecarlo::{mc_topk_into, McConfig};
@@ -53,12 +67,14 @@ use simrankpp_core::{
     KernelKind, Method, MethodKind, Rewriter, RewriterConfig, RowWorkspace, ShardStrategy,
     SimrankConfig, SingleSourceEngine,
 };
+use simrankpp_eval::{run_windowed_spam_experiment, SpamTimeline};
+use simrankpp_graph::components::connected_components;
 use simrankpp_graph::{
     AdId, ClickGraph, ClickGraphBuilder, EdgeData, GraphDelta, QueryId, SegmentedStore, WeightKind,
 };
 use simrankpp_serve::{
-    serve_session, IndexMeta, LiveContext, MappedIndex, NetConfig, NetServer, RewriteIndex,
-    ServeState,
+    serve_session, EpochIngestor, IndexMeta, IngestConfig, IngestMetrics, LiveContext, MappedIndex,
+    NetConfig, NetServer, RewriteIndex, ServeState,
 };
 use simrankpp_synth::federation::write_store;
 use simrankpp_synth::generator::{generate, GeneratorConfig};
@@ -146,6 +162,24 @@ const MAX_MAPPED_OPEN_MS_1M: f64 = 50.0;
 /// grows 100×. A ratio drifting up means something O(n) crept into open.
 const MAX_OPEN_FLATNESS: f64 = 8.0;
 
+/// Component slices the `--tier stream` replay rotates through — also the
+/// window length, so at steady state each epoch renews exactly the slice
+/// the window retires (1/8 of the graph dirty per epoch, 7/8 copied).
+const STREAM_SLICES: u32 = 8;
+
+/// Floor on the stream tier's incremental win, machine-relative: the
+/// median epoch refresh (1 dirty slice of 8) must beat a from-scratch
+/// rebuild of the whole surviving window by at least this factor — the
+/// number the per-epoch dirty-component path exists to deliver.
+const MIN_STREAM_INCREMENTAL_SPEEDUP: f64 = 5.0;
+
+/// Stream series gated against the committed `BENCH_stream.json`.
+const GATED_STREAM_KEYS: [&str; 3] = [
+    "stream_2k/freshness_p50_ms",
+    "stream_2k/freshness_p95_ms",
+    "stream_2k/epoch_refresh_p50_ms",
+];
+
 fn main() {
     let mut opts = Options {
         quick: false,
@@ -193,8 +227,8 @@ fn main() {
             }
             "--tier" => {
                 opts.tier = value(i);
-                if opts.tier != "default" && opts.tier != "1m" {
-                    eprintln!("--tier must be 'default' or '1m'");
+                if !matches!(opts.tier.as_str(), "default" | "1m" | "stream") {
+                    eprintln!("--tier must be 'default', '1m' or 'stream'");
                     std::process::exit(2);
                 }
                 i += 2;
@@ -210,7 +244,7 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_ci [--quick] [--out-dir DIR] [--check] \
-                     [--baseline-dir DIR] [--tolerance PCT] [--tier default|1m] \
+                     [--baseline-dir DIR] [--tolerance PCT] [--tier default|1m|stream] \
                      [--target-queries N]"
                 );
                 std::process::exit(2);
@@ -241,6 +275,27 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("bench-check (1m tier) passed");
+        }
+        return;
+    }
+
+    if opts.tier == "stream" {
+        let (stream_results, stream_derived) = stream_series(&opts, reps);
+        let stream_json = render_stream_json(&opts, &stream_results, &stream_derived);
+        std::fs::create_dir_all(&opts.out_dir).expect("cannot create --out-dir");
+        let stream_path = format!("{}/BENCH_stream.json", opts.out_dir);
+        std::fs::write(&stream_path, &stream_json).expect("cannot write BENCH_stream.json");
+        eprintln!("wrote {stream_path}");
+        if opts.check {
+            let failures = check_stream(&opts, &stream_results, &stream_derived);
+            if !failures.is_empty() {
+                eprintln!("bench-check (stream tier) FAILED:");
+                for f in &failures {
+                    eprintln!("  - {f}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("bench-check (stream tier) passed");
         }
         return;
     }
@@ -934,6 +989,246 @@ fn check_scale(results: &BTreeMap<String, f64>, derived: &BTreeMap<String, f64>)
     failures
 }
 
+/// Nearest-rank percentile of an ascending-sorted series.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// The `--tier stream` series: steady-state epoch replay through an
+/// `EpochIngestor` publishing into a live `ServeState`, plus the §11
+/// spam-campaign contamination contrast. Returns `(results_ms, derived)`.
+fn stream_series(opts: &Options, reps: usize) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+    let mut r = BTreeMap::new();
+    let mut derived = BTreeMap::new();
+    let cfg = SimrankConfig::default()
+        .with_iterations(5)
+        .with_prune_threshold(1e-4)
+        .with_sharding(ShardStrategy::Components);
+    let world = generate(&GeneratorConfig::small()).graph;
+    let labels = connected_components(&world);
+
+    // Slice the graph by component (label mod STREAM_SLICES): components
+    // are closed under refresh, so an epoch touching one slice leaves the
+    // other slices' rows copy-clean — the locality real click traffic has.
+    let mut slices: Vec<Vec<(&str, &str, EdgeData)>> = vec![Vec::new(); STREAM_SLICES as usize];
+    for (q, a, e) in world.edges() {
+        let s = (labels.query_label[q.index()] % STREAM_SLICES) as usize;
+        slices[s].push((
+            world.query_name(q).expect("named graph"),
+            world.ad_name(a).expect("named graph"),
+            *e,
+        ));
+    }
+
+    let mut ingestor = EpochIngestor::new(IngestConfig {
+        window: STREAM_SLICES as usize,
+        decay: 1.0,
+        method: MethodKind::WeightedSimrank,
+        config: cfg,
+        rewriter: RewriterConfig::default(),
+        threads: 0,
+    });
+    // Warm-up: stream one slice per epoch until every slice is in-window,
+    // then the first (full) build. From here on each epoch renews exactly
+    // the slice the window retires — a stationary stream.
+    for e in 0..STREAM_SLICES as u64 {
+        ingestor.advance_to(e);
+        for &(q, a, d) in &slices[(e % STREAM_SLICES as u64) as usize] {
+            ingestor.observe(q, a, d);
+        }
+    }
+    let t0 = Instant::now();
+    let (index, _, _) = ingestor.refresh().expect("first full build");
+    r.insert(
+        "stream_2k/first_full_build_ms".to_owned(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "stream: first full build of {} queries / {} rewrites in {:.0} ms",
+        index.n_queries(),
+        index.n_entries(),
+        r["stream_2k/first_full_build_ms"]
+    );
+
+    let metrics = std::sync::Arc::new(IngestMetrics::default());
+    let state = ServeState::ingesting(index, std::sync::Arc::clone(&metrics));
+    let epochs = if opts.quick { 8 } else { 16 };
+    let mut freshness_ms: Vec<f64> = Vec::with_capacity(epochs);
+    let mut refresh_ms: Vec<f64> = Vec::with_capacity(epochs);
+    let (mut refreshed_rows, mut copied_rows) = (0usize, 0usize);
+    let mut events = 0usize;
+    for e in STREAM_SLICES as u64..STREAM_SLICES as u64 + epochs as u64 {
+        ingestor.advance_to(e);
+        events += slices[(e % STREAM_SLICES as u64) as usize].len();
+        for &(q, a, d) in &slices[(e % STREAM_SLICES as u64) as usize] {
+            ingestor.observe(q, a, d);
+        }
+        let stats = ingestor.refresh_and_publish(&state).expect("epoch refresh");
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        freshness_ms.push(metrics.last_freshness_us.load(ord) as f64 / 1e3);
+        refresh_ms.push(metrics.last_refresh_us.load(ord) as f64 / 1e3);
+        refreshed_rows += stats.refreshed_queries;
+        copied_rows += stats.copied_queries;
+        black_box(state.handle().load());
+    }
+    freshness_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    refresh_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    r.insert(
+        "stream_2k/freshness_p50_ms".to_owned(),
+        percentile(&freshness_ms, 0.5),
+    );
+    r.insert(
+        "stream_2k/freshness_p95_ms".to_owned(),
+        percentile(&freshness_ms, 0.95),
+    );
+    r.insert(
+        "stream_2k/epoch_refresh_p50_ms".to_owned(),
+        percentile(&refresh_ms, 0.5),
+    );
+    r.insert(
+        "stream_2k/epoch_refresh_p95_ms".to_owned(),
+        percentile(&refresh_ms, 0.95),
+    );
+
+    // The from-scratch contrast: what every epoch boundary would cost
+    // without the dirty-component path (full method + pipeline + index
+    // over the same graph shape the window holds at steady state).
+    let scratch_ms = median_ms(reps.min(3), || {
+        let method = Method::compute(MethodKind::WeightedSimrank, &world, &cfg);
+        let rewriter = Rewriter::new(&world, method, RewriterConfig::default());
+        RewriteIndex::build(&rewriter, None, 0)
+    });
+    r.insert("stream_2k/scratch_rebuild_ms".to_owned(), scratch_ms);
+    derived.insert(
+        "epoch_speedup_incremental_vs_scratch".to_owned(),
+        scratch_ms / percentile(&refresh_ms, 0.5),
+    );
+    derived.insert(
+        "rows_copied_fraction".to_owned(),
+        copied_rows as f64 / (copied_rows + refreshed_rows).max(1) as f64,
+    );
+    derived.insert("epochs_measured".to_owned(), epochs as f64);
+    derived.insert("events_ingested".to_owned(), events as f64);
+    eprintln!(
+        "stream: {} epochs, freshness p50 {:.1} ms / p95 {:.1} ms, refresh p50 {:.1} ms, \
+         {:.0}% of rows copied, scratch contrast {:.0} ms",
+        epochs,
+        r["stream_2k/freshness_p50_ms"],
+        r["stream_2k/freshness_p95_ms"],
+        r["stream_2k/epoch_refresh_p50_ms"],
+        derived["rows_copied_fraction"] * 100.0,
+        scratch_ms
+    );
+
+    // The adversarial scenario: a click-spam campaign replayed with and
+    // without window expiry (tiny graph — the contamination values, not
+    // their wall-clock, are the series).
+    let clean = generate(&GeneratorConfig::tiny()).graph;
+    let outcome = run_windowed_spam_experiment(
+        &clean,
+        &SpamTimeline::default(),
+        MethodKind::WeightedSimrank,
+        &SimrankConfig::default(),
+        RewriterConfig::default(),
+    );
+    derived.insert(
+        "spam_contamination_unwindowed".to_owned(),
+        outcome.unwindowed.contamination(),
+    );
+    derived.insert(
+        "spam_contamination_windowed".to_owned(),
+        outcome.windowed.contamination(),
+    );
+    eprintln!(
+        "stream: spam contamination {:.3} unwindowed vs {:.3} windowed",
+        outcome.unwindowed.contamination(),
+        outcome.windowed.contamination()
+    );
+    (r, derived)
+}
+
+/// Stream-tier gates: the machine-relative incremental floor, the spam
+/// contrast, and baseline diffs for the freshness/refresh series.
+fn check_stream(
+    opts: &Options,
+    results: &BTreeMap<String, f64>,
+    derived: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let speedup = derived["epoch_speedup_incremental_vs_scratch"];
+    if speedup < MIN_STREAM_INCREMENTAL_SPEEDUP {
+        failures.push(format!(
+            "median epoch refresh is only {speedup:.2}x faster than a from-scratch rebuild \
+             (floor: {MIN_STREAM_INCREMENTAL_SPEEDUP}x, machine-relative)"
+        ));
+    } else {
+        eprintln!(
+            "gate ok: epoch refresh {speedup:.1}x vs scratch \
+             (floor {MIN_STREAM_INCREMENTAL_SPEEDUP}x)"
+        );
+    }
+    let unwindowed = derived["spam_contamination_unwindowed"];
+    let windowed = derived["spam_contamination_windowed"];
+    if windowed != 0.0 {
+        failures.push(format!(
+            "windowed spam contamination is {windowed:.4}, expected exactly 0 — \
+             expiry must remove the campaign's edges outright"
+        ));
+    }
+    if unwindowed <= 0.0 {
+        failures.push(
+            "the spam campaign registered no contamination without windowing — \
+             the adversarial scenario is vacuous"
+                .to_owned(),
+        );
+    }
+    if windowed == 0.0 && unwindowed > 0.0 {
+        eprintln!("gate ok: spam contamination {unwindowed:.3} unwindowed -> 0 windowed");
+    }
+
+    let baseline_path = format!("{}/BENCH_stream.json", opts.baseline_dir);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("cannot read baseline {baseline_path}: {e}"));
+            return failures;
+        }
+    };
+    let baseline: serde_json::Value = match serde_json::from_str(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            failures.push(format!("cannot parse baseline {baseline_path}: {e:?}"));
+            return failures;
+        }
+    };
+    let factor = 1.0 + opts.tolerance_pct / 100.0;
+    for key in GATED_STREAM_KEYS {
+        let fresh = results[key];
+        let Some(base) = baseline
+            .get("results_ms")
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_f64())
+        else {
+            eprintln!("note: baseline has no {key:?}; skipping (refresh the baseline)");
+            continue;
+        };
+        if fresh > base * factor {
+            failures.push(format!(
+                "{key}: {fresh:.1} ms vs baseline {base:.1} ms — regressed beyond \
+                 {:.0}% tolerance",
+                opts.tolerance_pct
+            ));
+        } else {
+            eprintln!(
+                "gate ok: {key}: {fresh:.1} ms (baseline {base:.1} ms, limit {:.1} ms)",
+                base * factor
+            );
+        }
+    }
+    failures
+}
+
 fn check(
     opts: &Options,
     engine_results: &BTreeMap<String, f64>,
@@ -1134,6 +1429,40 @@ fn render_serve_json(
         environment_json(opts),
         json_map(results, "    "),
         json_map(&derived, "    "),
+    )
+}
+
+fn render_stream_json(
+    opts: &Options,
+    results: &BTreeMap<String, f64>,
+    derived: &BTreeMap<String, f64>,
+) -> String {
+    let gate_keys = GATED_STREAM_KEYS
+        .iter()
+        .map(|k| format!("\"{k}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"bench\": \"bench_ci (stream tier)\",\n  \"description\": \"Streaming-ingestion \
+         freshness on a 2k-query synth graph: an EpochIngestor replays the graph one \
+         component-slice per epoch ({STREAM_SLICES} slices = the window length, so each epoch \
+         renews exactly the slice the window retires), refreshing dirty components and \
+         hot-swapping the generation into a live ServeState at every boundary. freshness = \
+         first event of the batch read -> new generation swapped in; epoch_refresh = freeze + \
+         dirty-component rebuild + swap; scratch_rebuild is the same-shape full build every \
+         boundary would cost without the incremental path. Derived: the machine-relative \
+         incremental-vs-scratch speedup (gated), the copied-row fraction, and the spam-campaign \
+         contamination contrast (campaign in the first epochs of the timeline; the window must \
+         expire it to exactly zero while the unwindowed observer stays contaminated). Weighted \
+         SimRank, 5 iterations, prune_threshold 1e-4, component sharding.\",\n{},\n  \
+         \"results_ms\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }},\n  \"gate\": {{\n    \
+         \"keys\": [{gate_keys}],\n    \"tolerance_pct\": {},\n    \
+         \"min_stream_incremental_speedup\": {MIN_STREAM_INCREMENTAL_SPEEDUP},\n    \
+         \"spam_contamination_windowed_must_be_zero\": true\n  }}\n}}\n",
+        environment_json(opts),
+        json_map(results, "    "),
+        json_map(derived, "    "),
+        opts.tolerance_pct,
     )
 }
 

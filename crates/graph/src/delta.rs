@@ -34,6 +34,15 @@
 //! and `- \t query \t ad` for removals, `#` comments and blank lines
 //! skipped. Named ops resolve against a named graph via [`apply_named`],
 //! interning unseen names as fresh dense ids.
+//!
+//! Streaming ingestion extends the same wire format with a timestamp: a
+//! **click log** ([`read_click_log`] / [`write_click_log`]) is an
+//! append-only TSV whose upsert lines carry a leading epoch column
+//! (`+ \t epoch \t query \t ad \t impressions \t clicks \t ecr`) and whose
+//! `@ \t epoch` marker lines declare every earlier epoch complete. A click
+//! log carries no removals — expiry is the reader's job (the sliding window
+//! in [`crate::window`] retires whole epochs), which keeps the log
+//! append-only and replayable from any offset.
 
 use crate::builder::ClickGraphBuilder;
 use crate::components::{connected_components, Components};
@@ -149,23 +158,84 @@ impl GraphDelta {
     /// exceed the new graph's dimensions (a removal of a never-seen edge)
     /// are ignored.
     pub fn dirty_components(&self, new_graph: &ClickGraph) -> DirtyComponents {
-        let components = connected_components(new_graph);
-        let mut dirty = vec![false; components.count];
-        for op in &self.ops {
-            let (q, a) = op.endpoints();
-            if q.index() < new_graph.n_queries() {
-                dirty[components.query_label[q.index()] as usize] = true;
-            }
-            if a.index() < new_graph.n_ads() {
-                dirty[components.ad_label[a.index()] as usize] = true;
+        dirty_for_endpoints(new_graph, self.ops.iter().map(|op| op.endpoints()))
+    }
+
+    /// The edge-level difference `new − old`, as a delta whose
+    /// [`GraphDelta::apply`] on `old` reproduces `new`'s exact edge set
+    /// (data compared bitwise, so even an ECR recomputed to the same value
+    /// through a different fp path counts as a change). Ids are compared
+    /// positionally — both graphs must share an id space, as two window
+    /// freezes over the same interners do. Nodes that appear in `new`
+    /// without any incident edge are not expressible as edge ops and are
+    /// ignored; callers that need them (the window keeps every interned
+    /// name) already share the node universe.
+    ///
+    /// This is the oracle for endpoint-tracked dirtiness: the cheap
+    /// streaming path marks components from observed/retired event
+    /// endpoints, and `diff(old, new).dirty_components(new)` must mark a
+    /// subset of them (every changed edge came from some event).
+    pub fn diff(old: &ClickGraph, new: &ClickGraph) -> GraphDelta {
+        let bit_eq = |a: &EdgeData, b: &EdgeData| {
+            a.impressions == b.impressions
+                && a.clicks == b.clicks
+                && a.expected_click_rate.to_bits() == b.expected_click_rate.to_bits()
+        };
+        let mut d = GraphDelta::new();
+        for (q, a, e) in new.edges() {
+            let before = (q.index() < old.n_queries() && a.index() < old.n_ads())
+                .then(|| old.edge(q, a))
+                .flatten();
+            match before {
+                Some(prev) if bit_eq(prev, e) => {}
+                Some(_) => {
+                    // Replace: wipe the accumulated history, then set the
+                    // new data verbatim (upsert alone would merge onto it).
+                    d.remove(q, a).upsert(q, a, *e);
+                }
+                None => {
+                    d.upsert(q, a, *e);
+                }
             }
         }
-        let n_dirty = dirty.iter().filter(|&&d| d).count();
-        DirtyComponents {
-            components,
-            dirty,
-            n_dirty,
+        for (q, a, _) in old.edges() {
+            let gone =
+                q.index() >= new.n_queries() || a.index() >= new.n_ads() || !new.has_edge(q, a);
+            if gone {
+                d.remove(q, a);
+            }
         }
+        d
+    }
+}
+
+/// Marks the components of `new_graph` containing any of the given
+/// `(query, ad)` endpoints as dirty — the same labeling
+/// [`GraphDelta::dirty_components`] computes from a delta's ops, but driven
+/// by a raw endpoint stream. The streaming ingest path uses this with the
+/// endpoints of events observed since the last refresh plus the endpoints
+/// of events the window retired, which covers every edge the epoch
+/// boundary could have changed. Endpoints beyond the graph's dimensions
+/// are ignored.
+pub fn dirty_for_endpoints<I>(new_graph: &ClickGraph, endpoints: I) -> DirtyComponents
+where
+    I: IntoIterator<Item = (QueryId, AdId)>,
+{
+    let components = connected_components(new_graph);
+    let mut dirty = vec![false; components.count];
+    for (q, a) in endpoints {
+        if q.index() < new_graph.n_queries() {
+            dirty[components.query_label[q.index()] as usize] = true;
+        }
+        if a.index() < new_graph.n_ads() {
+            dirty[components.ad_label[a.index()] as usize] = true;
+        }
+    }
+    let n_dirty = dirty.iter().filter(|&&d| d).count();
+    DirtyComponents {
+        components,
+        dirty,
+        n_dirty,
     }
 }
 
@@ -377,6 +447,139 @@ fn bad_line(line_no: usize, msg: &str) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("delta TSV line {line_no}: {msg}"),
     )
+}
+
+/// One line of an append-only click log — the delta TSV upsert shape with a
+/// leading epoch column, plus epoch-advance markers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClickLogRecord {
+    /// `+ \t epoch \t query \t ad \t impressions \t clicks \t ecr`: one
+    /// observation window to accumulate onto the named edge, stamped with
+    /// the epoch it belongs to.
+    Event {
+        /// Epoch the observation belongs to.
+        epoch: u64,
+        /// Query display name.
+        query: String,
+        /// Ad display name.
+        ad: String,
+        /// Observation window to merge onto the edge.
+        data: EdgeData,
+    },
+    /// `@ \t epoch`: every epoch **before** `epoch` is complete; the writer
+    /// has moved on. Readers batching events into epochs treat this as the
+    /// signal to retire expired buckets and refresh — without it, a reader
+    /// could not distinguish "epoch still filling" from "epoch done but
+    /// quiet".
+    EpochMark {
+        /// The epoch the writer has advanced to.
+        epoch: u64,
+    },
+}
+
+/// Parses one click-log line. Returns `Ok(None)` for blank lines and `#`
+/// comments. `line_no` is 1-based, for error messages. Tail-following
+/// readers call this per line as the file grows; [`read_click_log`] wraps
+/// it for whole files.
+pub fn parse_click_log_line(line: &str, line_no: usize) -> io::Result<Option<ClickLogRecord>> {
+    let trimmed = line.trim_end_matches(['\n', '\r']);
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let bad = |msg: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("click log line {line_no}: {msg}"),
+        )
+    };
+    let fields: Vec<&str> = trimmed.split('\t').collect();
+    match fields.as_slice() {
+        ["+", epoch, q, a, impr, clicks, ecr] => {
+            let epoch: u64 = epoch
+                .parse()
+                .map_err(|_| bad(&format!("bad epoch field {epoch:?}")))?;
+            let impressions: u64 = impr
+                .parse()
+                .map_err(|_| bad(&format!("bad impressions field {impr:?}")))?;
+            let clicks: u64 = clicks
+                .parse()
+                .map_err(|_| bad(&format!("bad clicks field {clicks:?}")))?;
+            let ecr: f64 = ecr
+                .parse()
+                .map_err(|_| bad(&format!("bad ECR field {ecr:?}")))?;
+            if clicks > impressions || !ecr.is_finite() || ecr < 0.0 {
+                return Err(bad("edge data violates invariants"));
+            }
+            Ok(Some(ClickLogRecord::Event {
+                epoch,
+                query: (*q).to_owned(),
+                ad: (*a).to_owned(),
+                data: EdgeData {
+                    impressions,
+                    clicks,
+                    expected_click_rate: ecr,
+                },
+            }))
+        }
+        ["@", epoch] => {
+            let epoch: u64 = epoch
+                .parse()
+                .map_err(|_| bad(&format!("bad epoch field {epoch:?}")))?;
+            Ok(Some(ClickLogRecord::EpochMark { epoch }))
+        }
+        [op, ..] if *op != "+" && *op != "@" => {
+            Err(bad(&format!("unknown op {op:?} (expected '+' or '@')")))
+        }
+        _ => Err(bad("wrong field count (event: 7 fields, epoch mark: 2)")),
+    }
+}
+
+/// Reads a whole click log: one [`ClickLogRecord`] per non-blank,
+/// non-comment line, in file order.
+pub fn read_click_log<R: BufRead>(input: R) -> io::Result<Vec<ClickLogRecord>> {
+    let mut records = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(rec) = parse_click_log_line(&line?, i + 1)? {
+            records.push(rec);
+        }
+    }
+    Ok(records)
+}
+
+/// Writes click-log records in the [`read_click_log`] format. Names
+/// containing a tab or newline are rejected — they would shift every
+/// following field.
+pub fn write_click_log<W: Write>(records: &[ClickLogRecord], out: W) -> io::Result<()> {
+    let check = |field: &str, name: &str| -> io::Result<()> {
+        if name.contains(['\t', '\n', '\r']) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{field} name {name:?} contains a tab or newline"),
+            ));
+        }
+        Ok(())
+    };
+    let mut w = BufWriter::new(out);
+    for rec in records {
+        match rec {
+            ClickLogRecord::Event {
+                epoch,
+                query,
+                ad,
+                data,
+            } => {
+                check("query", query)?;
+                check("ad", ad)?;
+                writeln!(
+                    w,
+                    "+\t{epoch}\t{query}\t{ad}\t{}\t{}\t{}",
+                    data.impressions, data.clicks, data.expected_click_rate
+                )?;
+            }
+            ClickLogRecord::EpochMark { epoch } => writeln!(w, "@\t{epoch}")?,
+        }
+    }
+    w.flush()
 }
 
 #[cfg(test)]
@@ -621,5 +824,108 @@ mod tests {
         // dirty_components must not index out of bounds.
         let dirty = d.dirty_components(&g2);
         assert_eq!(dirty.n_dirty(), 0);
+    }
+
+    #[test]
+    fn diff_applied_to_old_reproduces_new() {
+        let g = figure3_graph();
+        let mut d = GraphDelta::new();
+        let camera = g.query_by_name("camera").unwrap();
+        let hp = g.ad_by_name("hp.com").unwrap();
+        let flower = g.query_by_name("flower").unwrap();
+        let tele = g.ad_by_name("teleflora.com").unwrap();
+        d.upsert(camera, hp, EdgeData::from_clicks(3)) // change
+            .remove(flower, tele) // removal
+            .upsert(QueryId(g.n_queries() as u32), AdId(g.n_ads() as u32), {
+                EdgeData::new(4, 2, 0.5) // growth
+            });
+        let g2 = d.apply(&g);
+        let diff = GraphDelta::diff(&g, &g2);
+        let replayed = diff.apply(&g);
+        assert_eq!(replayed.n_edges(), g2.n_edges());
+        for (q, a, e) in g2.edges() {
+            let r = replayed.edge(q, a).expect("edge missing after replay");
+            assert_eq!(r.impressions, e.impressions);
+            assert_eq!(r.clicks, e.clicks);
+            assert_eq!(
+                r.expected_click_rate.to_bits(),
+                e.expected_click_rate.to_bits()
+            );
+        }
+        // Identical graphs diff to an empty delta.
+        assert!(GraphDelta::diff(&g2, &g2).is_empty());
+    }
+
+    #[test]
+    fn endpoint_dirtiness_covers_diff_dirtiness() {
+        let g = figure3_graph();
+        let d = fig3_delta_merge();
+        let g2 = d.apply(&g);
+        let via_endpoints = dirty_for_endpoints(&g2, d.ops().iter().map(|op| op.endpoints()));
+        let via_diff = GraphDelta::diff(&g, &g2).dirty_components(&g2);
+        assert_eq!(via_endpoints.n_components(), via_diff.n_components());
+        for c in 0..via_endpoints.n_components() as u32 {
+            // Every component the diff marks dirty is marked by endpoints.
+            assert!(
+                !via_diff.is_dirty(c) || via_endpoints.is_dirty(c),
+                "diff marked component {c} but endpoint tracking missed it"
+            );
+        }
+        // Out-of-range endpoints are ignored, not a panic.
+        let out = dirty_for_endpoints(&g2, [(QueryId(999), AdId(999))]);
+        assert_eq!(out.n_dirty(), 0);
+    }
+
+    #[test]
+    fn click_log_round_trips() {
+        let records = vec![
+            ClickLogRecord::Event {
+                epoch: 0,
+                query: "camera".into(),
+                ad: "hp.com".into(),
+                data: EdgeData::new(10, 4, 0.25),
+            },
+            ClickLogRecord::EpochMark { epoch: 1 },
+            ClickLogRecord::Event {
+                epoch: 1,
+                query: "flower".into(),
+                ad: "teleflora.com".into(),
+                data: EdgeData::new(8, 8, 0.9),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_click_log(&records, &mut buf).unwrap();
+        assert_eq!(read_click_log(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn click_log_skips_comments_and_rejects_garbage() {
+        let ok = "# streaming log\n\n+\t3\tq\ta\t5\t2\t0.4\n@\t4\n";
+        let records = read_click_log(ok.as_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], ClickLogRecord::EpochMark { epoch: 4 });
+        for bad in [
+            "-\tq\ta\n",               // removals have no place in a click log
+            "+\tq\ta\t5\t2\t0.4\n",    // missing epoch column
+            "+\tx\tq\ta\t5\t2\t0.4\n", // non-numeric epoch
+            "+\t1\tq\ta\t5\t9\t0.4\n", // clicks > impressions
+            "+\t1\tq\ta\t5\t2\tinf\n", // non-finite ecr
+            "@\n",                     // epoch mark without epoch
+            "@\t1\textra\n",           // epoch mark with extra field
+            "*\t1\tq\ta\t5\t2\t0.4\n", // unknown op
+        ] {
+            assert!(read_click_log(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn write_click_log_rejects_tab_names() {
+        let records = vec![ClickLogRecord::Event {
+            epoch: 0,
+            query: "a\tb".into(),
+            ad: "x".into(),
+            data: EdgeData::from_clicks(1),
+        }];
+        assert!(write_click_log(&records, Vec::new()).is_err());
     }
 }

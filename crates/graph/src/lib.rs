@@ -42,7 +42,9 @@ pub mod subgraph;
 pub mod window;
 
 pub use builder::ClickGraphBuilder;
-pub use delta::{DeltaOp, DirtyComponents, GraphDelta, NamedOp};
+pub use delta::{
+    dirty_for_endpoints, ClickLogRecord, DeltaOp, DirtyComponents, GraphDelta, NamedOp,
+};
 pub use edge::{EdgeData, WeightKind};
 pub use graph::ClickGraph;
 pub use ids::{AdId, NodeRef, QueryId};
@@ -52,3 +54,4 @@ pub use segments::{
 };
 pub use sharding::{Shard, Sharding};
 pub use stats::{DegreeHistogram, GraphStats};
+pub use window::SlidingWindowGraph;

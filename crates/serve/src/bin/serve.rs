@@ -22,6 +22,12 @@
 //! serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3
 //!              [out.idx] [--write-graph <path>]    incremental: refresh dirty rows only
 //! serve info <index.idx>                       print snapshot header + stats
+//! serve ingest <click.log> [method] [--window N] [--decay F] [--poll-ms N]
+//!              [--addr H:P] [--admin H:P] ...   streaming: tail an append-only click
+//!                                              log, batch events into epochs, and
+//!                                              refresh + hot-swap dirty rows at every
+//!                                              epoch boundary while the TCP planes
+//!                                              keep serving
 //! ```
 //!
 //! `method` is one of `naive | pearson | simrank | evidence | weighted`
@@ -42,6 +48,24 @@
 //! built from, recomputes only the dirty components' rows, and writes the
 //! next snapshot generation (in place unless `out.idx` is given). The
 //! snapshot's own metadata supplies the method — no method argument.
+//!
+//! `serve ingest` is the streaming counterpart: the click log is the delta
+//! upsert shape with a leading epoch column (`+\t<epoch>\t<query>\t<ad>\t
+//! <impr>\t<clicks>\t<ecr>`), and `@\t<epoch>` marker lines close epochs.
+//! Events accumulate in a sliding window of `--window` epochs (older
+//! buckets retire wholesale); `--decay` down-weights an edge's older ECR
+//! evidence. Each closed epoch refreshes exactly the dirty components'
+//! rows and hot-swaps the generation in — clients never see a partial
+//! index. The protocol `info` verb reports the `ingest_*` freshness
+//! counters.
+//!
+//! `--weight-kind` selects the edge weight behind transition
+//! probabilities. Every subcommand defaults to `clicks` except `ingest`,
+//! which defaults to `ecr` so the decay knob is visible in scores. The
+//! snapshot header records the engine kernel but not the weight kind, so
+//! a `serve update` of an index built with a non-default kind must be
+//! given the same flag — a mismatch would mix weight regimes between
+//! refreshed and copied rows undetected.
 
 use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, ShardStrategy, SimrankConfig};
 use simrankpp_graph::delta::{apply_named, read_delta_tsv};
@@ -66,10 +90,18 @@ const USAGE: &str = "usage:
   serve listen [--addr H:P] [--admin H:P] [--max-connections N] [--read-timeout-secs S] <same sources as run>
   serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3 [out.idx] [--write-graph <path>]
   serve info <index.idx>
+  serve ingest <click.log> [method] [--window N] [--decay F] [--poll-ms N] [--weight-kind K]
+               [--addr H:P] [--admin H:P] [--max-connections N] [--read-timeout-secs S]
 method: naive | pearson | simrank | evidence | weighted (default weighted)
 shard:  components | off | extracted:K (default components; exact)
 mode:   all-pairs (default; precompute every row offline) | single-source
         (no offline build: rows computed per query on demand, LRU-cached)
+weight: --weight-kind impressions|clicks|ecr — edge weight behind transition
+        probabilities (default clicks; ingest defaults to ecr so --decay shows)
+ingest: tail an append-only click log (`+\t<epoch>\t<query>\t<ad>\t<impr>\t<clicks>\t<ecr>`
+        events, `@\t<epoch>` epoch marks); --window N epochs of history (default 14),
+        --decay F per-epoch ECR down-weight in (0,1] (default 1 = off), --poll-ms log
+        poll interval (default 50); each closed epoch refreshes dirty rows + hot-swaps
 a .seg input (see `serve segment`) builds the index one segment at a time:
 peak memory is bounded by the largest segment, not the whole graph";
 
@@ -82,6 +114,7 @@ fn main() -> ExitCode {
         Some("listen") => listen(&args[1..]),
         Some("update") => update(&args[1..]),
         Some("info") => info(&args[1..]),
+        Some("ingest") => ingest(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
@@ -118,6 +151,36 @@ fn load_graph(source: &str, fixture: bool) -> Result<ClickGraph, String> {
     read_tsv(BufReader::new(file)).map_err(|e| format!("cannot parse {source}: {e}"))
 }
 
+fn weight_kind_arg(name: &str) -> Result<WeightKind, String> {
+    Ok(match name {
+        "impressions" => WeightKind::Impressions,
+        "clicks" => WeightKind::Clicks,
+        "ecr" => WeightKind::ExpectedClickRate,
+        other => return Err(format!("unknown weight kind {other:?}\n{USAGE}")),
+    })
+}
+
+/// Peels every `--weight-kind <v>` pair out of `args`, for the subcommands
+/// whose remaining arguments are positional (`build`, `update`).
+fn peel_weight_kind(args: &[String]) -> Result<(Option<WeightKind>, Vec<String>), String> {
+    let mut kind = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--weight-kind" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--weight-kind needs a value\n{USAGE}"))?;
+            kind = Some(weight_kind_arg(v)?);
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((kind, rest))
+}
+
 fn shard_strategy(name: &str) -> Result<ShardStrategy, String> {
     Ok(match name {
         "off" => ShardStrategy::Off,
@@ -132,15 +195,22 @@ fn shard_strategy(name: &str) -> Result<ShardStrategy, String> {
 /// The one serving configuration: every `serve` code path — `build`, `run
 /// --graph`, `update`, and the protocol `update` verb — must compute with
 /// identical parameters, or an incremental rebuild would mix generations.
-fn serve_config(sharding: ShardStrategy) -> SimrankConfig {
+/// The weight kind is the operator-chosen part (`--weight-kind`); it must
+/// match across a build and its later updates.
+fn serve_config(sharding: ShardStrategy, weight: WeightKind) -> SimrankConfig {
     SimrankConfig::default()
-        .with_weight_kind(WeightKind::Clicks)
+        .with_weight_kind(weight)
         .with_sharding(sharding)
 }
 
-fn build_index(graph: &ClickGraph, kind: MethodKind, sharding: ShardStrategy) -> RewriteIndex {
+fn build_index(
+    graph: &ClickGraph,
+    kind: MethodKind,
+    sharding: ShardStrategy,
+    weight: WeightKind,
+) -> RewriteIndex {
     let t0 = Instant::now();
-    let config = serve_config(sharding);
+    let config = serve_config(sharding, weight);
     let method = Method::compute(kind, graph, &config);
     eprintln!(
         "computed {} over {} queries / {} ads ({sharding:?} sharding) in {:.1?}",
@@ -167,6 +237,9 @@ fn build_index(graph: &ClickGraph, kind: MethodKind, sharding: ShardStrategy) ->
 }
 
 fn build(args: &[String]) -> Result<(), String> {
+    let (weight, args) = peel_weight_kind(args)?;
+    let weight = weight.unwrap_or(WeightKind::Clicks);
+    let args = &args[..];
     // A segmented store builds without ever holding the whole graph.
     if let Some(path) = args.first().filter(|p| p.ends_with(".seg")) {
         let out = args.get(1).ok_or(USAGE.to_owned())?;
@@ -174,7 +247,7 @@ fn build(args: &[String]) -> Result<(), String> {
         let mut store =
             SegmentedStore::open(path.as_ref()).map_err(|e| format!("cannot open {path}: {e}"))?;
         let t0 = Instant::now();
-        let config = serve_config(ShardStrategy::Components);
+        let config = serve_config(ShardStrategy::Components, weight);
         let index = RewriteIndex::build_segmented(
             &mut store,
             kind,
@@ -210,7 +283,7 @@ fn build(args: &[String]) -> Result<(), String> {
     let kind = method_kind(rest.get(1).map(String::as_str).unwrap_or("weighted"))?;
     let sharding = shard_strategy(rest.get(2).map(String::as_str).unwrap_or("components"))?;
 
-    let index = build_index(&graph, kind, sharding);
+    let index = build_index(&graph, kind, sharding, weight);
     index
         .save(out)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -256,11 +329,12 @@ fn build_state(
     graph: ClickGraph,
     kind: MethodKind,
     sharding: ShardStrategy,
+    weight: WeightKind,
     cache_capacity: usize,
     updatable: bool,
 ) -> Result<ServeState, String> {
-    let index = build_index(&graph, kind, sharding);
-    let config = serve_config(sharding);
+    let index = build_index(&graph, kind, sharding, weight);
+    let config = serve_config(sharding, weight);
     let live = if updatable
         && matches!(
             kind,
@@ -299,16 +373,28 @@ fn build_state(
 struct ServeOptions {
     mode: String,
     cache_capacity: usize,
+    weight_kind: Option<WeightKind>,
+    window: usize,
+    decay: f64,
+    poll_ms: u64,
     net: simrankpp_serve::NetConfig,
     positional: Vec<String>,
 }
 
-fn parse_serve_options(args: &[String], listen: bool) -> Result<ServeOptions, String> {
+fn parse_serve_options(
+    args: &[String],
+    listen: bool,
+    ingest: bool,
+) -> Result<ServeOptions, String> {
     // Peel the flagged options off; what remains keeps the historical
     // positional shape (`--graph <path> [method] [shard]` or `<index.idx>`).
     let mut opts = ServeOptions {
         mode: "all-pairs".to_owned(),
         cache_capacity: 4096,
+        weight_kind: None,
+        window: 14,
+        decay: 1.0,
+        poll_ms: 50,
         net: simrankpp_serve::NetConfig {
             addr: "127.0.0.1:7878".to_owned(),
             ..simrankpp_serve::NetConfig::default()
@@ -331,6 +417,34 @@ fn parse_serve_options(args: &[String], listen: bool) -> Result<ServeOptions, St
                 opts.cache_capacity = flag_value("--cache-capacity")?
                     .parse()
                     .map_err(|e| format!("bad --cache-capacity: {e}\n{USAGE}"))?;
+                i += 2;
+            }
+            "--weight-kind" => {
+                opts.weight_kind = Some(weight_kind_arg(&flag_value("--weight-kind")?)?);
+                i += 2;
+            }
+            "--window" if ingest => {
+                opts.window = flag_value("--window")?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}\n{USAGE}"))?;
+                if opts.window == 0 {
+                    return Err(format!("--window must be at least 1 epoch\n{USAGE}"));
+                }
+                i += 2;
+            }
+            "--decay" if ingest => {
+                opts.decay = flag_value("--decay")?
+                    .parse()
+                    .map_err(|e| format!("bad --decay: {e}\n{USAGE}"))?;
+                if !(opts.decay > 0.0 && opts.decay <= 1.0) {
+                    return Err(format!("--decay must be in (0, 1]\n{USAGE}"));
+                }
+                i += 2;
+            }
+            "--poll-ms" if ingest => {
+                opts.poll_ms = flag_value("--poll-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --poll-ms: {e}\n{USAGE}"))?;
                 i += 2;
             }
             "--addr" if listen => {
@@ -373,6 +487,7 @@ fn parse_serve_options(args: &[String], listen: bool) -> Result<ServeOptions, St
 fn state_from_options(opts: &ServeOptions) -> Result<ServeState, String> {
     let mode = opts.mode.as_str();
     let cache_capacity = opts.cache_capacity;
+    let weight = opts.weight_kind.unwrap_or(WeightKind::Clicks);
     let positional: Vec<&str> = opts.positional.iter().map(String::as_str).collect();
     let state = match positional.first().copied() {
         Some("--graph") => {
@@ -384,7 +499,7 @@ fn state_from_options(opts: &ServeOptions) -> Result<ServeState, String> {
                 // No offline build at all: an empty index (every lookup
                 // misses) over a live engine, so each query's row is
                 // computed on first demand and LRU-cached.
-                let config = serve_config(sharding);
+                let config = serve_config(sharding, weight);
                 let meta = simrankpp_serve::IndexMeta {
                     method: kind,
                     max_rewrites: RewriterConfig::default().max_rewrites as u32,
@@ -410,10 +525,10 @@ fn state_from_options(opts: &ServeOptions) -> Result<ServeState, String> {
                     "extracted sharding is approximate: `update` disabled \
                      (rebuild with `components` to enable incremental updates)"
                 );
-                build_state(graph, kind, sharding, cache_capacity, false)?
+                build_state(graph, kind, sharding, weight, cache_capacity, false)?
             } else {
                 eprintln!("live graph held: `update <delta.tsv>` hot-swaps the index in place");
-                build_state(graph, kind, sharding, cache_capacity, true)?
+                build_state(graph, kind, sharding, weight, cache_capacity, true)?
             }
         }
         Some(path) => {
@@ -440,7 +555,7 @@ fn state_from_options(opts: &ServeOptions) -> Result<ServeState, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let opts = parse_serve_options(args, false)?;
+    let opts = parse_serve_options(args, false, false)?;
     let state = state_from_options(&opts)?;
     let stdin = io::stdin();
     serve_session(&state, stdin.lock(), io::stdout()).map_err(|e| format!("protocol error: {e}"))
@@ -448,7 +563,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// TCP front-end: same state assembly as `run`, served concurrently.
 fn listen(args: &[String]) -> Result<(), String> {
-    let opts = parse_serve_options(args, true)?;
+    let opts = parse_serve_options(args, true, false)?;
     let state = std::sync::Arc::new(state_from_options(&opts)?);
     let net = opts.net.clone();
     let server = NetServer::bind(state, net).map_err(|e| format!("cannot bind: {e}"))?;
@@ -474,6 +589,9 @@ fn listen(args: &[String]) -> Result<(), String> {
 }
 
 fn update(args: &[String]) -> Result<(), String> {
+    let (weight, args) = peel_weight_kind(args)?;
+    let weight = weight.unwrap_or(WeightKind::Clicks);
+    let args = &args[..];
     let idx_path = args.first().ok_or(USAGE.to_owned())?;
     let delta_path = args.get(1).ok_or(USAGE.to_owned())?;
     let mut graph_src: Option<(String, bool)> = None;
@@ -521,7 +639,7 @@ fn update(args: &[String]) -> Result<(), String> {
     // Honor the snapshot's recorded engine kernel (like the method kind):
     // a refresh must recompute dirty rows with the kernel that produced the
     // clean rows it copies, or rebuild_incremental refuses the mix.
-    let config = serve_config(ShardStrategy::Components).with_kernel(index.meta().kernel);
+    let config = serve_config(ShardStrategy::Components, weight).with_kernel(index.meta().kernel);
     let (next, stats) = index.rebuild_incremental(
         &new_graph,
         &dirty,
@@ -591,4 +709,170 @@ fn info(args: &[String]) -> Result<(), String> {
         "row cache       n/a offline (the protocol `info` verb reports it on a running server)"
     );
     Ok(())
+}
+
+/// Streaming mode: tail a click log, refresh + hot-swap at epoch
+/// boundaries, serve over TCP throughout.
+///
+/// Startup order matters for the freshness contract: the existing log
+/// backlog is replayed and the first full index published *before* the
+/// listeners bind, so the very first answer any client can get already
+/// reflects every complete record — byte-identical to a static build of
+/// the same window. After that the main thread runs the accept loops and
+/// a background thread tails the log; a tailer failure (unparseable line,
+/// I/O error) drains the server and fails the process rather than serving
+/// an index that silently stopped following the log.
+fn ingest(args: &[String]) -> Result<(), String> {
+    use simrankpp_graph::delta::ClickLogRecord;
+    use simrankpp_serve::{EpochIngestor, IngestConfig, IngestMetrics, LogTailer};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let opts = parse_serve_options(args, true, true)?;
+    let positional: Vec<&str> = opts.positional.iter().map(String::as_str).collect();
+    let log_path = positional.first().copied().ok_or(USAGE.to_owned())?;
+    let kind = method_kind(positional.get(1).copied().unwrap_or("weighted"))?;
+    // Default to ECR weights in ingest mode: the decay knob rescales ECR,
+    // so under click weights it would never reach a score.
+    let weight = opts.weight_kind.unwrap_or(WeightKind::ExpectedClickRate);
+    if opts.decay < 1.0 && weight != WeightKind::ExpectedClickRate {
+        eprintln!(
+            "warning: --decay rescales expected click rates, but --weight-kind is not ecr; \
+             decay will not affect served scores"
+        );
+    }
+
+    let mut ingestor = EpochIngestor::new(IngestConfig {
+        window: opts.window,
+        decay: opts.decay,
+        method: kind,
+        config: serve_config(ShardStrategy::Components, weight),
+        rewriter: RewriterConfig::default(),
+        threads: 0,
+    });
+    let metrics = Arc::new(IngestMetrics::default());
+    let mut tailer =
+        LogTailer::open(log_path).map_err(|e| format!("cannot open {log_path}: {e}"))?;
+
+    // Catch up on the backlog: replay every complete record, then one full
+    // build. Historical epoch marks only advance the window here — there
+    // is no audience for intermediate generations yet.
+    let t0 = Instant::now();
+    let backlog = tailer
+        .drain()
+        .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+    for rec in &backlog {
+        if matches!(rec, ClickLogRecord::Event { .. }) {
+            metrics.events.fetch_add(1, Ordering::Relaxed);
+        }
+        ingestor.apply_record(rec);
+    }
+    let (index, stats, _) = ingestor.refresh()?;
+    metrics.epoch.store(ingestor.epoch(), Ordering::Relaxed);
+    metrics.refreshes.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .refreshed_rows
+        .fetch_add(stats.refreshed_queries as u64, Ordering::Relaxed);
+    metrics
+        .last_refresh_us
+        .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    eprintln!(
+        "caught up {} record(s) from {log_path} (epoch {}, window {}, decay {}): \
+         {} queries / {} rewrites ({}, {:?} weights) in {:.1?}",
+        backlog.len(),
+        ingestor.epoch(),
+        opts.window,
+        opts.decay,
+        index.n_queries(),
+        index.n_entries(),
+        kind.name(),
+        weight,
+        t0.elapsed()
+    );
+
+    let state = Arc::new(ServeState::ingesting(index, Arc::clone(&metrics)));
+    let server = NetServer::bind(Arc::clone(&state), opts.net.clone())
+        .map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    eprintln!(
+        "data plane listening on {addr} (rewrite/quit; max {} connections, read timeout {:?})",
+        opts.net.max_connections, opts.net.read_timeout
+    );
+    match server.admin_addr() {
+        Some(Ok(admin)) => eprintln!(
+            "admin plane listening on {admin} (batch/info/shutdown; `update` refused — \
+             the ingest loop owns index generations)"
+        ),
+        Some(Err(e)) => return Err(format!("cannot resolve admin address: {e}")),
+        None => eprintln!(
+            "no --admin listener: info/shutdown are unreachable over the network \
+             (data plane serves rewrite/quit only)"
+        ),
+    }
+
+    let shutdown = server.shutdown_signal();
+    let failed = Arc::new(AtomicBool::new(false));
+    let tail_handle = {
+        let state = Arc::clone(&state);
+        let metrics = Arc::clone(&metrics);
+        let shutdown = Arc::clone(&shutdown);
+        let failed = Arc::clone(&failed);
+        let poll = std::time::Duration::from_millis(opts.poll_ms);
+        std::thread::spawn(move || {
+            let fail = |msg: String| {
+                eprintln!("ingest: {msg}");
+                failed.store(true, Ordering::Relaxed);
+                shutdown.trigger();
+            };
+            loop {
+                if shutdown.is_draining() {
+                    return;
+                }
+                let records = match tailer.drain() {
+                    Ok(r) => r,
+                    Err(e) => return fail(format!("cannot read the click log: {e}")),
+                };
+                if records.is_empty() {
+                    std::thread::sleep(poll);
+                    continue;
+                }
+                let mut refresh_due = false;
+                for rec in &records {
+                    if matches!(rec, ClickLogRecord::Event { .. }) {
+                        metrics.events.fetch_add(1, Ordering::Relaxed);
+                    }
+                    refresh_due |= ingestor.apply_record(rec);
+                }
+                if refresh_due {
+                    let t0 = Instant::now();
+                    match ingestor.refresh_and_publish(&state) {
+                        Ok(s) => eprintln!(
+                            "epoch {}: refreshed {} row(s), copied {} \
+                             ({} dirty / {} clean components) in {:.1?}",
+                            ingestor.epoch(),
+                            s.refreshed_queries,
+                            s.copied_queries,
+                            s.n_dirty_components,
+                            s.n_clean_components,
+                            t0.elapsed()
+                        ),
+                        Err(e) => return fail(format!("epoch refresh failed: {e}")),
+                    }
+                }
+            }
+        })
+    };
+
+    let result = server.serve().map_err(|e| format!("serve failed: {e}"));
+    // serve() returning means the drain flag is up; the tailer sees it on
+    // its next poll.
+    tail_handle
+        .join()
+        .map_err(|_| "ingest thread panicked".to_owned())?;
+    if failed.load(Ordering::Relaxed) {
+        return Err("the ingest loop failed; the server drained (see above)".to_owned());
+    }
+    result
 }

@@ -1,0 +1,470 @@
+//! Streaming click-log ingestion: windowed epochs driving zero-downtime
+//! index refreshes.
+//!
+//! The offline pipeline treats the click graph as a monthly batch artifact
+//! (§3: "a specific time period"); production click traffic is a stream.
+//! This module turns the incremental machinery (`GraphDelta` dirty
+//! components → [`RewriteIndex::rebuild_incremental`] → `AtomicHandle`
+//! hot-swap) into a *continuous* path:
+//!
+//! * an append-only **click log** (the delta TSV upsert shape with a
+//!   leading epoch column, `simrankpp_graph::delta::ClickLogRecord`) is
+//!   tailed as it grows ([`LogTailer`]);
+//! * events accumulate into the current epoch bucket of a
+//!   [`SlidingWindowGraph`]; `@ <epoch>` marker lines close epochs,
+//!   retiring buckets older than the window and triggering a refresh;
+//! * each refresh freezes the surviving window, marks dirty exactly the
+//!   components holding an endpoint of an event **observed or retired**
+//!   since the last refresh (sound because a frozen edge's data — decayed
+//!   ECR included, see the window docs on per-edge age anchoring — depends
+//!   only on its own surviving events), rebuilds those rows, and
+//!   hot-swaps the new generation in while the TCP data plane keeps
+//!   serving.
+//!
+//! The first refresh has no previous generation and runs a full build;
+//! every later one is incremental, and is bit-identical to a from-scratch
+//! build of the surviving window (`tests/stream_equivalence.rs` holds the
+//! differential proof).
+//!
+//! [`IngestMetrics`] instruments the click-to-serve freshness story: how
+//! long a refresh takes (`last_refresh_us`), and the end-to-end latency
+//! from reading a batch's first event to the moment the swapped-in
+//! generation reflects it (`last_freshness_us`). The protocol `info` verb
+//! reports the counters; `bench_ci --tier stream` turns them into gated
+//! `BENCH_stream.json` metrics.
+
+use crate::index::{RebuildStats, RewriteIndex};
+use crate::server::ServeState;
+use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig};
+use simrankpp_graph::delta::{dirty_for_endpoints, parse_click_log_line, ClickLogRecord};
+use simrankpp_graph::{AdId, EdgeData, QueryId, SlidingWindowGraph};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Parameters of one streaming ingest pipeline. The similarity and
+/// rewriter configs play the same role as [`crate::server::UpdateContext`]:
+/// every refresh must recompute with the parameters the previous
+/// generation was built with, or the incremental rebuild would mix
+/// regimes (and [`RewriteIndex::rebuild_incremental`] would refuse).
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Window length in epochs; events older than this retire.
+    pub window: usize,
+    /// Per-epoch ECR decay factor in `(0, 1]` (see
+    /// [`SlidingWindowGraph::with_decay`]); 1 = no decay.
+    pub decay: f64,
+    /// The similarity method every generation is built with.
+    pub method: MethodKind,
+    /// The engine configuration every generation is built with.
+    pub config: SimrankConfig,
+    /// The §9.3 pipeline parameters every generation is built with.
+    pub rewriter: RewriterConfig,
+    /// Worker threads for the initial full build (`0` = all cores).
+    pub threads: usize,
+}
+
+/// Shared atomic counters describing a running ingest pipeline, reported
+/// by the protocol `info` verb (tab-separated `ingest_*=value` fields,
+/// like [`crate::net::ServerMetrics`]).
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    /// Click events ingested (epoch marks excluded).
+    pub events: AtomicU64,
+    /// The window's current epoch.
+    pub epoch: AtomicU64,
+    /// Refreshes published (the first one is the full build).
+    pub refreshes: AtomicU64,
+    /// Cumulative index rows recomputed across refreshes.
+    pub refreshed_rows: AtomicU64,
+    /// Cumulative index rows copied verbatim across refreshes.
+    pub copied_rows: AtomicU64,
+    /// Wall-clock of the last refresh (freeze → rebuild → swap), in µs.
+    pub last_refresh_us: AtomicU64,
+    /// Click-to-serve freshness of the last refreshed batch: first event
+    /// read → new generation swapped in, in µs.
+    pub last_freshness_us: AtomicU64,
+}
+
+impl std::fmt::Display for IngestMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingest_epoch={}\tingest_events={}\tingest_refreshes={}\
+             \tingest_refreshed_rows={}\tingest_copied_rows={}\
+             \tingest_last_refresh_us={}\tingest_last_freshness_us={}",
+            self.epoch.load(Ordering::Relaxed),
+            self.events.load(Ordering::Relaxed),
+            self.refreshes.load(Ordering::Relaxed),
+            self.refreshed_rows.load(Ordering::Relaxed),
+            self.copied_rows.load(Ordering::Relaxed),
+            self.last_refresh_us.load(Ordering::Relaxed),
+            self.last_freshness_us.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// The state machine between a click log and a served index: the sliding
+/// window, the last published generation, and the endpoints whose
+/// components the next refresh must recompute.
+pub struct EpochIngestor {
+    cfg: IngestConfig,
+    window: SlidingWindowGraph,
+    /// The last published index generation; `None` until the first
+    /// refresh (which therefore runs a full build).
+    index: Option<RewriteIndex>,
+    /// `(query, ad)` endpoints of events observed or retired since the
+    /// last refresh — the dirtiness frontier.
+    pending: Vec<(QueryId, AdId)>,
+    /// When the first event of the current unrefreshed batch was read.
+    batch_started: Option<Instant>,
+}
+
+impl EpochIngestor {
+    /// An empty pipeline at epoch 0.
+    pub fn new(cfg: IngestConfig) -> EpochIngestor {
+        let window = SlidingWindowGraph::new(cfg.window).with_decay(cfg.decay);
+        EpochIngestor {
+            cfg,
+            window,
+            index: None,
+            pending: Vec::new(),
+            batch_started: None,
+        }
+    }
+
+    /// The window's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.window.epoch()
+    }
+
+    /// Endpoints awaiting the next refresh.
+    pub fn pending_endpoints(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records one click event into the current epoch bucket.
+    pub fn observe(&mut self, query: &str, ad: &str, data: EdgeData) {
+        if self.batch_started.is_none() {
+            self.batch_started = Some(Instant::now());
+        }
+        let (q, a) = self.window.observe(query, ad, data);
+        self.pending.push((q, a));
+    }
+
+    /// Advances the window to `epoch` (a no-op when not ahead), folding
+    /// the retired events' endpoints into the dirtiness frontier.
+    pub fn advance_to(&mut self, epoch: u64) {
+        let retired = self.window.advance_to(epoch);
+        self.pending.extend(retired);
+    }
+
+    /// Applies one parsed click-log record. Returns `true` when the record
+    /// was an epoch mark that advanced the window — the signal that a
+    /// refresh is due. Events stamped ahead of the current epoch advance
+    /// it implicitly (their epoch just started — no refresh signal);
+    /// events stamped behind it are late arrivals and fold into the
+    /// current bucket.
+    pub fn apply_record(&mut self, rec: &ClickLogRecord) -> bool {
+        match rec {
+            ClickLogRecord::Event {
+                epoch,
+                query,
+                ad,
+                data,
+            } => {
+                if *epoch > self.window.epoch() {
+                    self.advance_to(*epoch);
+                }
+                self.observe(query, ad, *data);
+                false
+            }
+            ClickLogRecord::EpochMark { epoch } => {
+                if *epoch > self.window.epoch() {
+                    self.advance_to(*epoch);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Freezes the surviving window and produces the next index
+    /// generation: a full parallel build the first time, an incremental
+    /// rebuild of exactly the dirty components' rows afterwards. Returns
+    /// the generation to publish, its rebuild stats (for a full build:
+    /// every row refreshed, component counts zero), and whether it was
+    /// the full build. On error the previous generation stays current and
+    /// the dirtiness frontier is preserved for a retry.
+    pub fn refresh(&mut self) -> Result<(RewriteIndex, RebuildStats, bool), String> {
+        // The batch this refresh absorbs ends here — callers measuring
+        // freshness ([`Self::refresh_and_publish`]) take the start first.
+        self.batch_started = None;
+        let graph = self.window.freeze();
+        match self.index.as_ref() {
+            None => {
+                let method = Method::compute(self.cfg.method, &graph, &self.cfg.config);
+                let rewriter = Rewriter::new(&graph, method, self.cfg.rewriter);
+                let index = RewriteIndex::build(&rewriter, None, self.cfg.threads);
+                let stats = RebuildStats {
+                    refreshed_queries: index.n_queries(),
+                    copied_queries: 0,
+                    refreshed_entries: index.n_entries(),
+                    copied_entries: 0,
+                    n_dirty_components: 0,
+                    n_clean_components: 0,
+                };
+                self.pending.clear();
+                self.index = Some(index.clone());
+                Ok((index, stats, true))
+            }
+            Some(old) => {
+                let dirty = dirty_for_endpoints(&graph, self.pending.iter().copied());
+                let (next, stats) = old.rebuild_incremental(
+                    &graph,
+                    &dirty,
+                    &self.cfg.config,
+                    &self.cfg.rewriter,
+                    None,
+                )?;
+                self.pending.clear();
+                self.index = Some(next.clone());
+                Ok((next, stats, false))
+            }
+        }
+    }
+
+    /// [`Self::refresh`] plus publication: hot-swaps the new generation
+    /// into `state` and updates the state's [`IngestMetrics`] (refresh
+    /// wall-clock, batch freshness, row counters). The serving index is
+    /// never left mid-swap — readers see the old generation until the
+    /// single atomic publish.
+    pub fn refresh_and_publish(&mut self, state: &ServeState) -> Result<RebuildStats, String> {
+        let batch_started = self.batch_started.take();
+        let t0 = Instant::now();
+        let (index, stats, _full) = self.refresh()?;
+        state.publish(index);
+        let refresh_us = t0.elapsed().as_micros() as u64;
+        if let Some(m) = state.ingest_metrics() {
+            m.epoch.store(self.window.epoch(), Ordering::Relaxed);
+            m.refreshes.fetch_add(1, Ordering::Relaxed);
+            m.refreshed_rows
+                .fetch_add(stats.refreshed_queries as u64, Ordering::Relaxed);
+            m.copied_rows
+                .fetch_add(stats.copied_queries as u64, Ordering::Relaxed);
+            m.last_refresh_us.store(refresh_us, Ordering::Relaxed);
+            if let Some(start) = batch_started {
+                m.last_freshness_us
+                    .store(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for EpochIngestor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochIngestor")
+            .field("epoch", &self.window.epoch())
+            .field("events_held", &self.window.events_held())
+            .field("pending", &self.pending.len())
+            .field("published", &self.index.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Incremental reader of a growing click log. Each [`LogTailer::drain`]
+/// call parses every *complete* line appended since the last call; a
+/// partial trailing line (the writer mid-append) is left in the file for
+/// the next drain, so records are never split.
+#[derive(Debug)]
+pub struct LogTailer {
+    reader: BufReader<File>,
+    path: PathBuf,
+    line_no: usize,
+}
+
+impl LogTailer {
+    /// Opens `path` for tailing from the beginning.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<LogTailer> {
+        let file = File::open(path.as_ref())?;
+        Ok(LogTailer {
+            reader: BufReader::new(file),
+            path: path.as_ref().to_path_buf(),
+            line_no: 0,
+        })
+    }
+
+    /// The log being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines consumed so far (complete lines only).
+    pub fn lines_read(&self) -> usize {
+        self.line_no
+    }
+
+    /// Reads every complete record currently available. Returns an empty
+    /// vector at (momentary) EOF; parse errors carry the 1-based line
+    /// number. The unterminated tail, if any, is pushed back for the next
+    /// call.
+    pub fn drain(&mut self) -> io::Result<Vec<ClickLogRecord>> {
+        let mut records = Vec::new();
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = self.reader.read_line(&mut buf)?;
+            if n == 0 {
+                return Ok(records);
+            }
+            if !buf.ends_with('\n') {
+                // The writer is mid-append: rewind past the fragment and
+                // let the next drain see the completed line.
+                self.reader.seek(SeekFrom::Current(-(n as i64)))?;
+                return Ok(records);
+            }
+            self.line_no += 1;
+            if let Some(rec) = parse_click_log_line(&buf, self.line_no)? {
+                records.push(rec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrankpp_graph::delta::write_click_log;
+    use std::io::Write;
+
+    fn cfg() -> IngestConfig {
+        IngestConfig {
+            window: 3,
+            decay: 1.0,
+            method: MethodKind::WeightedSimrank,
+            config: SimrankConfig::default()
+                .with_weight_kind(simrankpp_graph::WeightKind::ExpectedClickRate),
+            rewriter: RewriterConfig::default(),
+            threads: 1,
+        }
+    }
+
+    fn ev(epoch: u64, q: &str, a: &str) -> ClickLogRecord {
+        ClickLogRecord::Event {
+            epoch,
+            query: q.into(),
+            ad: a.into(),
+            data: EdgeData::new(10, 4, 0.4),
+        }
+    }
+
+    #[test]
+    fn first_refresh_is_full_then_incremental() {
+        let mut ing = EpochIngestor::new(cfg());
+        ing.observe("q1", "a1", EdgeData::new(10, 4, 0.4));
+        ing.observe("q2", "a1", EdgeData::new(10, 6, 0.6));
+        let (index, stats, full) = ing.refresh().unwrap();
+        assert!(full);
+        assert_eq!(index.n_queries(), 2);
+        assert_eq!(stats.refreshed_queries, 2);
+
+        ing.advance_to(1);
+        ing.observe("q3", "a2", EdgeData::new(10, 5, 0.5));
+        let (index2, stats2, full2) = ing.refresh().unwrap();
+        assert!(!full2);
+        assert_eq!(index2.n_queries(), 3);
+        // q1/q2's component is untouched: copied, not refreshed.
+        assert_eq!(stats2.copied_queries, 2);
+        assert_eq!(stats2.refreshed_queries, 1);
+    }
+
+    #[test]
+    fn apply_record_signals_refresh_only_on_advancing_marks() {
+        let mut ing = EpochIngestor::new(cfg());
+        assert!(!ing.apply_record(&ev(0, "q", "a")));
+        // An event stamped ahead advances implicitly but is not a refresh
+        // signal; the later mark for that epoch is a no-op.
+        assert!(!ing.apply_record(&ev(2, "q2", "a2")));
+        assert_eq!(ing.epoch(), 2);
+        assert!(!ing.apply_record(&ClickLogRecord::EpochMark { epoch: 2 }));
+        assert!(ing.apply_record(&ClickLogRecord::EpochMark { epoch: 3 }));
+        assert!(!ing.apply_record(&ClickLogRecord::EpochMark { epoch: 1 }));
+        assert_eq!(ing.epoch(), 3);
+    }
+
+    #[test]
+    fn retired_events_mark_their_components_dirty() {
+        let mut ing = EpochIngestor::new(cfg());
+        ing.observe("stale", "ad", EdgeData::new(10, 4, 0.4));
+        let _ = ing.refresh().unwrap();
+        // Window of 3: epoch 3 retires the epoch-0 bucket.
+        ing.advance_to(3);
+        assert!(ing.pending_endpoints() > 0, "retirement must queue dirt");
+        let (index, stats, _) = ing.refresh().unwrap();
+        assert_eq!(stats.refreshed_queries, 1, "the stale component refreshes");
+        // The retired query survives as an isolated node with no rewrites.
+        assert!(index.lookup("stale").unwrap().ids().is_empty());
+    }
+
+    #[test]
+    fn tailer_drains_complete_lines_and_defers_fragments() {
+        let dir = std::env::temp_dir().join(format!(
+            "simrankpp_tailer_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("click.log");
+        let mut f = File::create(&path).unwrap();
+        write_click_log(&[ev(0, "q1", "a1")], &mut f).unwrap();
+        f.flush().unwrap();
+
+        let mut tailer = LogTailer::open(&path).unwrap();
+        assert_eq!(tailer.drain().unwrap().len(), 1);
+        assert!(tailer.drain().unwrap().is_empty(), "EOF drains empty");
+
+        // A partial line stays pending until its newline arrives.
+        write!(f, "+\t1\tq2\ta2\t10").unwrap();
+        f.flush().unwrap();
+        assert!(tailer.drain().unwrap().is_empty());
+        writeln!(f, "\t4\t0.4").unwrap();
+        writeln!(f, "@\t2").unwrap();
+        f.flush().unwrap();
+        let records = tailer.drain().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], ev(1, "q2", "a2"));
+        assert_eq!(records[1], ClickLogRecord::EpochMark { epoch: 2 });
+        assert_eq!(tailer.lines_read(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_and_publish_swaps_the_serving_index_and_counts() {
+        let metrics = std::sync::Arc::new(IngestMetrics::default());
+        let mut ing = EpochIngestor::new(cfg());
+        ing.observe("q1", "a1", EdgeData::new(10, 4, 0.4));
+        ing.observe("q2", "a1", EdgeData::new(10, 6, 0.6));
+        let (first, _, _) = ing.refresh().unwrap();
+        let state = ServeState::ingesting(first, std::sync::Arc::clone(&metrics));
+
+        ing.advance_to(1);
+        ing.observe("q3", "a1", EdgeData::new(10, 5, 0.5));
+        ing.refresh_and_publish(&state).unwrap();
+        assert_eq!(metrics.refreshes.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.epoch.load(Ordering::Relaxed), 1);
+        assert!(metrics.last_freshness_us.load(Ordering::Relaxed) > 0);
+        // The published generation serves the new query.
+        let index = state.handle().load();
+        assert!(index.lookup("q3").is_some());
+        // Ingest mode refuses the update verb.
+        let err = state.apply_update("/nonexistent").unwrap_err();
+        assert!(err.contains("epoch boundaries"), "{err}");
+    }
+}

@@ -32,8 +32,13 @@
 //!   the same session loop as the pipe.
 //! * [`rowcache`] — the bounded, generation-aware LRU of live-computed
 //!   rows backing that fallback; invalidated on every `update` hot-swap.
+//! * [`ingest`] — streaming ingestion: a click-log tailer feeding a
+//!   sliding epoch window ([`EpochIngestor`]), with automatic
+//!   dirty-component refresh and hot-swap at every epoch boundary and
+//!   click-to-serve freshness counters ([`IngestMetrics`]).
 
 pub mod index;
+pub mod ingest;
 pub mod mapped;
 pub mod mmap;
 pub mod net;
@@ -43,6 +48,7 @@ pub mod snapshot;
 pub mod swap;
 
 pub use index::{IndexMeta, RebuildStats, RewriteIndex, RewriteSet};
+pub use ingest::{EpochIngestor, IngestConfig, IngestMetrics, LogTailer};
 pub use mapped::{MappedIndex, ServingIndex};
 pub use mmap::Backing;
 pub use net::{NetConfig, NetServer, ServerMetrics, ShutdownSignal};

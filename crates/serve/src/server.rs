@@ -377,6 +377,10 @@ pub struct ServeState {
     index: AtomicHandle<ServingIndex>,
     update: Option<Mutex<UpdateContext>>,
     live: Option<LiveState>,
+    /// Streaming-ingest counters when this server is fed by a click-log
+    /// tailer (`serve ingest`). Also the mode flag: when set, the manual
+    /// `update` verb is refused — the ingest loop owns index generations.
+    ingest: Option<Arc<crate::ingest::IngestMetrics>>,
     /// Serializes [`ServeState::apply_update`]'s whole read–apply–rebuild
     /// critical section. Without it two concurrent updates can both clone
     /// the same base graph before either commits, and the later commit
@@ -393,6 +397,23 @@ impl ServeState {
             index: AtomicHandle::new(ServingIndex::Heap(index)),
             update: None,
             live: None,
+            ingest: None,
+            updater: Mutex::new(()),
+        }
+    }
+
+    /// A server whose index generations are published by a streaming
+    /// ingest loop ([`crate::ingest::EpochIngestor`]): the manual `update`
+    /// verb is refused, and `info` reports the shared ingest counters.
+    pub fn ingesting(
+        index: RewriteIndex,
+        metrics: Arc<crate::ingest::IngestMetrics>,
+    ) -> ServeState {
+        ServeState {
+            index: AtomicHandle::new(ServingIndex::Heap(index)),
+            update: None,
+            live: None,
+            ingest: Some(metrics),
             updater: Mutex::new(()),
         }
     }
@@ -404,6 +425,7 @@ impl ServeState {
             index: AtomicHandle::new(ServingIndex::Mapped(index)),
             update: None,
             live: None,
+            ingest: None,
             updater: Mutex::new(()),
         }
     }
@@ -414,6 +436,7 @@ impl ServeState {
             index: AtomicHandle::new(ServingIndex::Heap(index)),
             update: Some(Mutex::new(ctx)),
             live: None,
+            ingest: None,
             updater: Mutex::new(()),
         }
     }
@@ -439,6 +462,20 @@ impl ServeState {
         &self.index
     }
 
+    /// The shared ingest counters, when this server is in ingest mode.
+    pub fn ingest_metrics(&self) -> Option<&Arc<crate::ingest::IngestMetrics>> {
+        self.ingest.as_ref()
+    }
+
+    /// Hot-swaps a new index generation in. Readers mid-request keep the
+    /// generation they loaded; every later load sees the new one. This is
+    /// the ingest loop's publication primitive — unlike
+    /// [`ServeState::apply_update`] it carries no graph bookkeeping, since
+    /// the [`crate::ingest::EpochIngestor`] owns the windowed graph.
+    pub fn publish(&self, index: RewriteIndex) {
+        self.index.swap(ServingIndex::Heap(index));
+    }
+
     /// Applies a named-op delta read from `path`: rebuilds the dirty rows,
     /// hot-swaps the new generation in, and advances the stored graph.
     /// When the live fallback is on, its engine is rebuilt over the new
@@ -456,6 +493,11 @@ impl ServeState {
         // (The live-only path below is where the race used to live — its
         // graph read and rebuild were two separately-locked regions.)
         // Poisoning recovered: the guarded token carries no data.
+        if self.ingest.is_some() {
+            return Err(
+                "this server ingests a click log; the index refreshes at epoch boundaries".into(),
+            );
+        }
         let _updates_serialized = self.updater.lock().unwrap_or_else(PoisonError::into_inner);
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         let ops = read_delta_tsv(BufReader::new(file))
@@ -699,6 +741,9 @@ pub fn serve_session_with<R: BufRead, W: Write>(
                 }
                 if let Some(m) = metrics {
                     write!(out, "\t{m}")?;
+                }
+                if let Some(ing) = state.ingest_metrics() {
+                    write!(out, "\t{ing}")?;
                 }
                 match state.cache_stats() {
                     Some(s) => writeln!(
