@@ -67,7 +67,8 @@ fn main() {
     println!("{}", render_full(&report));
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("repro_report.json", &json).expect("write repro_report.json");
+    simrankpp_util::atomic_write_bytes(std::path::Path::new("repro_report.json"), json.as_bytes())
+        .expect("write repro_report.json");
     println!("\nMachine-readable report written to repro_report.json");
 }
 

@@ -72,6 +72,16 @@ impl Interner {
     }
 }
 
+/// Two interners are equal when they hold the same names in the same id
+/// order; the derived reverse index is a cache and doesn't participate.
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Interner {}
+
 impl FromIterator<String> for Interner {
     fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
         let mut interner = Interner::new();

@@ -317,12 +317,15 @@ impl<W: Write> SegmentWriter<W> {
 /// the segments from an already-in-memory graph — build pipelines that care
 /// about peak memory should append segments as they produce them.
 pub fn write_segmented(g: &ClickGraph, path: &Path, target_nodes: usize) -> io::Result<u64> {
-    let mut w = SegmentWriter::new(io::BufWriter::new(File::create(path)?))?;
+    simrankpp_util::fail_point!("segment-write");
+    let (atomic, file) = simrankpp_util::AtomicFile::create(path)?;
+    let mut w = SegmentWriter::new(io::BufWriter::new(file))?;
     for seg in component_segments(g, target_nodes) {
         w.append(&seg)?;
     }
     let (sink, written) = w.finish()?;
-    sink.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    let file = sink.into_inner().map_err(|e| e.into_error())?;
+    atomic.commit(file)?;
     Ok(written)
 }
 

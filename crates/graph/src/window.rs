@@ -126,6 +126,38 @@ impl SlidingWindowGraph {
         self.buckets.len()
     }
 
+    /// The query-name interner (stable ids across the window's lifetime).
+    pub fn query_names(&self) -> &Interner {
+        &self.query_names
+    }
+
+    /// The ad-name interner (stable ids across the window's lifetime).
+    pub fn ad_names(&self) -> &Interner {
+        &self.ad_names
+    }
+
+    /// Reconstructs a window mid-stream from checkpointed state: the
+    /// interners carry every name ever observed (so ids stay stable across
+    /// the crash — retired nodes keep appearing isolated, exactly as in the
+    /// uninterrupted run), and the window restarts at `epoch` with a single
+    /// empty current bucket. The caller then replays the click log from the
+    /// first record of bucket `epoch`; because bucket assignment is purely
+    /// position-relative to epoch marks, the replay rebuilds the surviving
+    /// buckets bit-identically.
+    pub fn resume(window: usize, epoch: u64, query_names: Interner, ad_names: Interner) -> Self {
+        assert!(window >= 1, "window must hold at least one bucket");
+        let mut buckets = VecDeque::with_capacity(window);
+        buckets.push_back(Vec::new());
+        SlidingWindowGraph {
+            window,
+            buckets,
+            query_names,
+            ad_names,
+            epoch,
+            decay: 1.0,
+        }
+    }
+
     /// Number of surviving (un-retired) raw events across all buckets.
     pub fn events_held(&self) -> usize {
         self.buckets.iter().map(Vec::len).sum()

@@ -57,7 +57,11 @@
 //! evidence. Each closed epoch refreshes exactly the dirty components'
 //! rows and hot-swaps the generation in — clients never see a partial
 //! index. The protocol `info` verb reports the `ingest_*` freshness
-//! counters.
+//! counters. `--checkpoint <path>` commits a durable checkpoint (log
+//! offset + window epoch + graph fingerprint, written atomically) at every
+//! epoch boundary; `--resume` restarts from it, replaying only the
+//! checkpointed window span plus the log tail and refusing checkpoints
+//! whose fingerprint disagrees with the replayed window.
 //!
 //! `--weight-kind` selects the edge weight behind transition
 //! probabilities. Every subcommand defaults to `clicks` except `ingest`,
@@ -91,6 +95,7 @@ const USAGE: &str = "usage:
   serve update <index.idx> <delta.tsv> --graph <graph.tsv>|--fixture fig3 [out.idx] [--write-graph <path>]
   serve info <index.idx>
   serve ingest <click.log> [method] [--window N] [--decay F] [--poll-ms N] [--weight-kind K]
+               [--checkpoint <path>] [--resume]
                [--addr H:P] [--admin H:P] [--max-connections N] [--read-timeout-secs S]
 method: naive | pearson | simrank | evidence | weighted (default weighted)
 shard:  components | off | extracted:K (default components; exact)
@@ -101,7 +106,11 @@ weight: --weight-kind impressions|clicks|ecr — edge weight behind transition
 ingest: tail an append-only click log (`+\t<epoch>\t<query>\t<ad>\t<impr>\t<clicks>\t<ecr>`
         events, `@\t<epoch>` epoch marks); --window N epochs of history (default 14),
         --decay F per-epoch ECR down-weight in (0,1] (default 1 = off), --poll-ms log
-        poll interval (default 50); each closed epoch refreshes dirty rows + hot-swaps
+        poll interval (default 50); each closed epoch refreshes dirty rows + hot-swaps;
+        --checkpoint <path> commits a durable checkpoint (atomic temp+fsync+rename)
+        at every epoch boundary, --resume restarts from it: the window is rebuilt
+        from the checkpointed replay span + log tail (fingerprint-verified) instead
+        of re-reading the whole log
 a .seg input (see `serve segment`) builds the index one segment at a time:
 peak memory is bounded by the largest segment, not the whole graph";
 
@@ -127,6 +136,23 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Operator-facing message for a failed artifact open. A corrupt artifact
+/// (`InvalidData`: torn write, checksum mismatch, truncation) is
+/// additionally quarantined to `<path>.corrupt` so a supervised restart
+/// rebuilds from source instead of crash-looping on the same bytes.
+fn open_failure(path: &str, e: io::Error) -> String {
+    if e.kind() == io::ErrorKind::InvalidData {
+        return match simrankpp_util::quarantine(std::path::Path::new(path)) {
+            Ok(q) => format!(
+                "{path} is corrupt: {e}; quarantined to {} — rebuild it from source",
+                q.display()
+            ),
+            Err(qe) => format!("{path} is corrupt: {e}; quarantine failed: {qe}"),
+        };
+    }
+    format!("cannot load {path}: {e}")
 }
 
 fn method_kind(name: &str) -> Result<MethodKind, String> {
@@ -244,8 +270,7 @@ fn build(args: &[String]) -> Result<(), String> {
     if let Some(path) = args.first().filter(|p| p.ends_with(".seg")) {
         let out = args.get(1).ok_or(USAGE.to_owned())?;
         let kind = method_kind(args.get(2).map(String::as_str).unwrap_or("weighted"))?;
-        let mut store =
-            SegmentedStore::open(path.as_ref()).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let mut store = SegmentedStore::open(path.as_ref()).map_err(|e| open_failure(path, e))?;
         let t0 = Instant::now();
         let config = serve_config(ShardStrategy::Components, weight);
         let index = RewriteIndex::build_segmented(
@@ -377,6 +402,12 @@ struct ServeOptions {
     window: usize,
     decay: f64,
     poll_ms: u64,
+    /// Durable ingest checkpoint file (`--checkpoint`); None disables
+    /// checkpointing.
+    checkpoint: Option<String>,
+    /// Restart from the checkpoint + log tail instead of replaying the
+    /// whole log (`--resume`; requires `--checkpoint`).
+    resume: bool,
     net: simrankpp_serve::NetConfig,
     positional: Vec<String>,
 }
@@ -395,6 +426,8 @@ fn parse_serve_options(
         window: 14,
         decay: 1.0,
         poll_ms: 50,
+        checkpoint: None,
+        resume: false,
         net: simrankpp_serve::NetConfig {
             addr: "127.0.0.1:7878".to_owned(),
             ..simrankpp_serve::NetConfig::default()
@@ -445,6 +478,29 @@ fn parse_serve_options(
                 opts.poll_ms = flag_value("--poll-ms")?
                     .parse()
                     .map_err(|e| format!("bad --poll-ms: {e}\n{USAGE}"))?;
+                i += 2;
+            }
+            "--checkpoint" if ingest => {
+                opts.checkpoint = Some(flag_value("--checkpoint")?);
+                i += 2;
+            }
+            "--resume" if ingest => {
+                opts.resume = true;
+                i += 1;
+            }
+            "--failpoints" => {
+                // CLI twin of the SIMRANKPP_FAILPOINTS environment variable
+                // (same grammar). The registry always parses; the sites
+                // only exist in binaries built with `--features failpoints`.
+                let spec = flag_value("--failpoints")?;
+                simrankpp_util::failpoint::configure(&spec)
+                    .map_err(|e| format!("bad --failpoints: {e}"))?;
+                if cfg!(not(feature = "failpoints")) {
+                    eprintln!(
+                        "warning: --failpoints given, but this binary was built without \
+                         the `failpoints` feature; no site will fire"
+                    );
+                }
                 i += 2;
             }
             "--addr" if listen => {
@@ -535,7 +591,7 @@ fn state_from_options(opts: &ServeOptions) -> Result<ServeState, String> {
             // Zero-copy open: O(#sections) regardless of index size — the
             // row arrays are served straight out of the mapped file bytes.
             let t0 = Instant::now();
-            let index = MappedIndex::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            let index = MappedIndex::open(path).map_err(|e| open_failure(path, e))?;
             eprintln!(
                 "opened {}: {} queries, {} rewrites ({}) via {} ({} bytes) in {:.2?}; \
                  snapshot mode, `update` disabled (use `serve update` offline or `run --graph`)",
@@ -627,7 +683,7 @@ fn update(args: &[String]) -> Result<(), String> {
     let (src, fixture) =
         graph_src.ok_or_else(|| format!("update needs --graph or --fixture\n{USAGE}"))?;
     let graph = load_graph(&src, fixture)?;
-    let index = RewriteIndex::load(idx_path).map_err(|e| format!("cannot load {idx_path}: {e}"))?;
+    let index = RewriteIndex::load(idx_path).map_err(|e| open_failure(idx_path, e))?;
     let delta_file =
         File::open(delta_path).map_err(|e| format!("cannot open {delta_path}: {e}"))?;
     let ops = read_delta_tsv(BufReader::new(delta_file))
@@ -665,8 +721,10 @@ fn update(args: &[String]) -> Result<(), String> {
     eprintln!("snapshot written to {out}");
     match write_graph {
         Some(gp) => {
-            let f = File::create(&gp).map_err(|e| format!("cannot create {gp}: {e}"))?;
-            write_tsv(&new_graph, f).map_err(|e| format!("cannot write {gp}: {e}"))?;
+            // A crash mid-write must never leave a torn graph where the
+            // next `serve update` would read it: temp + fsync + rename.
+            simrankpp_util::atomic_write(std::path::Path::new(&gp), |w| write_tsv(&new_graph, w))
+                .map_err(|e| format!("cannot write {gp}: {e}"))?;
             eprintln!("updated graph written to {gp}");
         }
         None => eprintln!(
@@ -680,10 +738,8 @@ fn update(args: &[String]) -> Result<(), String> {
 
 fn info(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE.to_owned())?;
-    let index = MappedIndex::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-    index
-        .verify_deep()
-        .map_err(|e| format!("snapshot is corrupt: {e}"))?;
+    let index = MappedIndex::open(path).map_err(|e| open_failure(path, e))?;
+    index.verify_deep().map_err(|e| open_failure(path, e))?;
     let covered = (0..index.n_queries())
         .filter(|&q| !index.row(simrankpp_graph::QueryId(q as u32)).0.is_empty())
         .count();
@@ -724,7 +780,9 @@ fn info(args: &[String]) -> Result<(), String> {
 /// an index that silently stopped following the log.
 fn ingest(args: &[String]) -> Result<(), String> {
     use simrankpp_graph::delta::ClickLogRecord;
+    use simrankpp_serve::checkpoint::{self, read_checkpoint, resume_ingestor, write_checkpoint};
     use simrankpp_serve::{EpochIngestor, IngestConfig, IngestMetrics, LogTailer};
+    use std::path::Path;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
@@ -742,31 +800,89 @@ fn ingest(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let mut ingestor = EpochIngestor::new(IngestConfig {
+    let cfg = IngestConfig {
         window: opts.window,
         decay: opts.decay,
         method: kind,
         config: serve_config(ShardStrategy::Components, weight),
         rewriter: RewriterConfig::default(),
         threads: 0,
-    });
+    };
     let metrics = Arc::new(IngestMetrics::default());
-    let mut tailer =
-        LogTailer::open(log_path).map_err(|e| format!("cannot open {log_path}: {e}"))?;
-
-    // Catch up on the backlog: replay every complete record, then one full
-    // build. Historical epoch marks only advance the window here — there
-    // is no audience for intermediate generations yet.
-    let t0 = Instant::now();
-    let backlog = tailer
-        .drain()
-        .map_err(|e| format!("cannot read {log_path}: {e}"))?;
-    for rec in &backlog {
-        if matches!(rec, ClickLogRecord::Event { .. }) {
-            metrics.events.fetch_add(1, Ordering::Relaxed);
-        }
-        ingestor.apply_record(rec);
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(format!("--resume requires --checkpoint <path>\n{USAGE}"));
     }
+
+    // Warm path: rebuild the window from the checkpoint's compact replay
+    // span instead of the whole log, verifying the graph fingerprint at
+    // the committed offset before anything is served.
+    let mut resumed: Option<checkpoint::Resumed> = None;
+    if opts.resume {
+        let ck_path = opts.checkpoint.as_deref().expect("checked above");
+        match read_checkpoint(Path::new(ck_path)) {
+            Ok(ck) => {
+                let t0 = Instant::now();
+                let r = resume_ingestor(Path::new(log_path), &cfg, &ck)
+                    .map_err(|e| format!("cannot resume from {ck_path}: {e}"))?;
+                eprintln!(
+                    "resumed from checkpoint {ck_path}: epoch {} -> {}, generation {}, \
+                     replayed {} record(s) from byte {} in {:.1?}",
+                    ck.epoch,
+                    r.epoch,
+                    ck.generation,
+                    r.replayed,
+                    ck.replay_offset,
+                    t0.elapsed()
+                );
+                metrics.events.fetch_add(r.events as u64, Ordering::Relaxed);
+                resumed = Some(r);
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                eprintln!(
+                    "--resume: no checkpoint at {ck_path}; cold-starting from the full click log"
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // A corrupt checkpoint must not crash-loop a supervised
+                // restart: move it aside so the next attempt cold-starts.
+                return Err(match simrankpp_util::quarantine(Path::new(ck_path)) {
+                    Ok(q) => format!(
+                        "checkpoint {ck_path} refused: {e}; quarantined to {}",
+                        q.display()
+                    ),
+                    Err(qe) => {
+                        format!("checkpoint {ck_path} refused: {e}; quarantine failed: {qe}")
+                    }
+                });
+            }
+            Err(e) => return Err(format!("cannot read checkpoint {ck_path}: {e}")),
+        }
+    }
+
+    // Catch up on the backlog (cold path: the whole log; warm path: already
+    // replayed above), then one full build. Historical epoch marks only
+    // advance the window here — there is no audience for intermediate
+    // generations yet.
+    let t0 = Instant::now();
+    let (mut ingestor, mut tailer, caught_up) = match resumed {
+        Some(r) => (r.ingestor, r.tailer, r.replayed),
+        None => {
+            let mut ingestor = EpochIngestor::new(cfg);
+            let mut tailer =
+                LogTailer::open(log_path).map_err(|e| format!("cannot open {log_path}: {e}"))?;
+            let backlog = tailer
+                .drain_spanned()
+                .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+            for sr in &backlog {
+                if matches!(sr.rec, ClickLogRecord::Event { .. }) {
+                    metrics.events.fetch_add(1, Ordering::Relaxed);
+                }
+                ingestor.apply_record_at(&sr.rec, (sr.start, sr.end));
+            }
+            let n = backlog.len();
+            (ingestor, tailer, n)
+        }
+    };
     let (index, stats, _) = ingestor.refresh()?;
     metrics.epoch.store(ingestor.epoch(), Ordering::Relaxed);
     metrics.refreshes.fetch_add(1, Ordering::Relaxed);
@@ -779,7 +895,7 @@ fn ingest(args: &[String]) -> Result<(), String> {
     eprintln!(
         "caught up {} record(s) from {log_path} (epoch {}, window {}, decay {}): \
          {} queries / {} rewrites ({}, {:?} weights) in {:.1?}",
-        backlog.len(),
+        caught_up,
         ingestor.epoch(),
         opts.window,
         opts.decay,
@@ -789,6 +905,14 @@ fn ingest(args: &[String]) -> Result<(), String> {
         weight,
         t0.elapsed()
     );
+    // Publish-then-checkpoint: the index above reflects every applied
+    // record, so committing now means a crash at any later point resumes
+    // at-or-before this state and replays forward deterministically.
+    if let Some(ck_path) = opts.checkpoint.as_deref() {
+        write_checkpoint(Path::new(ck_path), &checkpoint::capture(&ingestor))
+            .map_err(|e| format!("cannot write checkpoint {ck_path}: {e}"))?;
+        metrics.mark_checkpoint();
+    }
 
     let state = Arc::new(ServeState::ingesting(index, Arc::clone(&metrics)));
     let server = NetServer::bind(Arc::clone(&state), opts.net.clone())
@@ -820,6 +944,7 @@ fn ingest(args: &[String]) -> Result<(), String> {
         let shutdown = Arc::clone(&shutdown);
         let failed = Arc::clone(&failed);
         let poll = std::time::Duration::from_millis(opts.poll_ms);
+        let ck_path = opts.checkpoint.clone();
         std::thread::spawn(move || {
             let fail = |msg: String| {
                 eprintln!("ingest: {msg}");
@@ -830,7 +955,7 @@ fn ingest(args: &[String]) -> Result<(), String> {
                 if shutdown.is_draining() {
                     return;
                 }
-                let records = match tailer.drain() {
+                let records = match tailer.drain_spanned() {
                     Ok(r) => r,
                     Err(e) => return fail(format!("cannot read the click log: {e}")),
                 };
@@ -839,11 +964,11 @@ fn ingest(args: &[String]) -> Result<(), String> {
                     continue;
                 }
                 let mut refresh_due = false;
-                for rec in &records {
-                    if matches!(rec, ClickLogRecord::Event { .. }) {
+                for sr in &records {
+                    if matches!(sr.rec, ClickLogRecord::Event { .. }) {
                         metrics.events.fetch_add(1, Ordering::Relaxed);
                     }
-                    refresh_due |= ingestor.apply_record(rec);
+                    refresh_due |= ingestor.apply_record_at(&sr.rec, (sr.start, sr.end));
                 }
                 if refresh_due {
                     let t0 = Instant::now();
@@ -859,6 +984,18 @@ fn ingest(args: &[String]) -> Result<(), String> {
                             t0.elapsed()
                         ),
                         Err(e) => return fail(format!("epoch refresh failed: {e}")),
+                    }
+                    // Commit only after the new generation is visible to
+                    // clients: a crash between publish and commit replays
+                    // this epoch on resume, which is idempotent; the
+                    // reverse order could lose acknowledged freshness.
+                    if let Some(ck) = ck_path.as_deref() {
+                        if let Err(e) =
+                            write_checkpoint(Path::new(ck), &checkpoint::capture(&ingestor))
+                        {
+                            return fail(format!("cannot write checkpoint {ck}: {e}"));
+                        }
+                        metrics.mark_checkpoint();
                     }
                 }
             }

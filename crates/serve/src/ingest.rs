@@ -86,6 +86,22 @@ pub struct IngestMetrics {
     /// Click-to-serve freshness of the last refreshed batch: first event
     /// read → new generation swapped in, in µs.
     pub last_freshness_us: AtomicU64,
+    /// Wall-clock of the last durable checkpoint commit, as milliseconds
+    /// since the Unix epoch; 0 until the first commit (or when ingest runs
+    /// without `--checkpoint`). The `health` verb turns this into an age.
+    pub last_checkpoint_unix_ms: AtomicU64,
+}
+
+impl IngestMetrics {
+    /// Stamps the last-checkpoint clock with the current wall time.
+    pub fn mark_checkpoint(&self) {
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.last_checkpoint_unix_ms
+            .store(now_ms, Ordering::Relaxed);
+    }
 }
 
 impl std::fmt::Display for IngestMetrics {
@@ -120,24 +136,112 @@ pub struct EpochIngestor {
     pending: Vec<(QueryId, AdId)>,
     /// When the first event of the current unrefreshed batch was read.
     batch_started: Option<Instant>,
+    /// For each recent epoch, the log byte offset of the record whose
+    /// application advanced the window *into* that epoch — the offset a
+    /// crash-recovery replay of that epoch's bucket must start from. Only
+    /// populated by [`Self::apply_record_at`] (offset-aware callers);
+    /// pruned to the epochs a future checkpoint could still need.
+    advances: std::collections::VecDeque<(u64, u64)>,
+    /// End offset of the last record applied via [`Self::apply_record_at`].
+    applied_offset: u64,
+    /// Index generations produced so far (survives resume: restored from
+    /// the checkpoint so generation numbers stay monotonic across crashes).
+    generation: u64,
+    /// Fingerprint of the window frozen by the last [`Self::refresh`].
+    last_fingerprint: u64,
 }
 
 impl EpochIngestor {
     /// An empty pipeline at epoch 0.
     pub fn new(cfg: IngestConfig) -> EpochIngestor {
         let window = SlidingWindowGraph::new(cfg.window).with_decay(cfg.decay);
+        Self::with_window(cfg, window, 0)
+    }
+
+    /// A pipeline resumed mid-stream from checkpointed state: the window
+    /// restarts at `epoch` with the full checkpointed name universe (see
+    /// [`SlidingWindowGraph::resume`]) and generation numbering continues.
+    /// The caller replays the click log tail before serving.
+    pub fn resume(
+        cfg: IngestConfig,
+        epoch: u64,
+        replay_offset: u64,
+        query_names: simrankpp_graph::Interner,
+        ad_names: simrankpp_graph::Interner,
+        generation: u64,
+    ) -> EpochIngestor {
+        let window = SlidingWindowGraph::resume(cfg.window, epoch, query_names, ad_names)
+            .with_decay(cfg.decay);
+        let mut ing = Self::with_window(cfg, window, generation);
+        // Seed the replay table with the bucket we were born into, so a
+        // checkpoint committed at this same boundary still records a real
+        // replay offset instead of falling back to a whole-log replay.
+        ing.advances.push_back((epoch, replay_offset));
+        ing.applied_offset = replay_offset;
+        ing
+    }
+
+    fn with_window(
+        cfg: IngestConfig,
+        window: SlidingWindowGraph,
+        generation: u64,
+    ) -> EpochIngestor {
         EpochIngestor {
             cfg,
             window,
             index: None,
             pending: Vec::new(),
             batch_started: None,
+            advances: std::collections::VecDeque::new(),
+            applied_offset: 0,
+            generation,
+            last_fingerprint: 0,
         }
     }
 
     /// The window's current epoch.
     pub fn epoch(&self) -> u64 {
         self.window.epoch()
+    }
+
+    /// The sliding window (checkpointing needs its interners).
+    pub fn window(&self) -> &SlidingWindowGraph {
+        &self.window
+    }
+
+    /// Index generations produced so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Fingerprint of the window frozen by the last refresh (0 before the
+    /// first one).
+    pub fn last_fingerprint(&self) -> u64 {
+        self.last_fingerprint
+    }
+
+    /// End offset of the last record applied with [`Self::apply_record_at`].
+    pub fn applied_offset(&self) -> u64 {
+        self.applied_offset
+    }
+
+    /// Where a crash-recovery replay must start to rebuild the current
+    /// window: `(epoch, log byte offset)` of the first record belonging to
+    /// the oldest surviving bucket. Falls back to `(0, 0)` — replay the
+    /// whole log, always correct, just slower — when the window hasn't
+    /// filled yet or offsets were never supplied.
+    pub fn replay_start(&self) -> (u64, u64) {
+        let epoch = self.window.epoch();
+        let window = self.window.window() as u64;
+        if epoch < window {
+            return (0, 0);
+        }
+        let oldest = epoch - window + 1;
+        self.advances
+            .iter()
+            .find(|&&(e, _)| e == oldest)
+            .map(|&(e, off)| (e, off))
+            .unwrap_or((0, 0))
     }
 
     /// Endpoints awaiting the next refresh.
@@ -192,6 +296,30 @@ impl EpochIngestor {
         }
     }
 
+    /// [`Self::apply_record`] for offset-aware callers (checkpointed
+    /// ingest): `span` is the record's `[start, end)` byte range in the
+    /// click log. Every epoch the record advances the window into is noted
+    /// with the record's *start* offset — replaying from there re-applies
+    /// the advancing record itself, which is required when it was an
+    /// event (the event belongs to the new bucket) and a harmless no-op
+    /// advance when it was a mark.
+    pub fn apply_record_at(&mut self, rec: &ClickLogRecord, span: (u64, u64)) -> bool {
+        let before = self.window.epoch();
+        let refresh_due = self.apply_record(rec);
+        let after = self.window.epoch();
+        for epoch in (before + 1)..=after {
+            self.advances.push_back((epoch, span.0));
+        }
+        // Prune entries no future checkpoint can need: a boundary at epoch
+        // E replays from bucket E − window + 1, and E only grows.
+        let keep_from = after.saturating_sub(self.window.window() as u64 - 1);
+        while matches!(self.advances.front(), Some(&(e, _)) if e < keep_from) {
+            self.advances.pop_front();
+        }
+        self.applied_offset = span.1;
+        refresh_due
+    }
+
     /// Freezes the surviving window and produces the next index
     /// generation: a full parallel build the first time, an incremental
     /// rebuild of exactly the dirty components' rows afterwards. Returns
@@ -203,7 +331,9 @@ impl EpochIngestor {
         // The batch this refresh absorbs ends here — callers measuring
         // freshness ([`Self::refresh_and_publish`]) take the start first.
         self.batch_started = None;
+        simrankpp_util::fail_point!("ingest-epoch-apply", |msg: String| msg);
         let graph = self.window.freeze();
+        self.last_fingerprint = graph.fingerprint();
         match self.index.as_ref() {
             None => {
                 let method = Method::compute(self.cfg.method, &graph, &self.cfg.config);
@@ -219,6 +349,7 @@ impl EpochIngestor {
                 };
                 self.pending.clear();
                 self.index = Some(index.clone());
+                self.generation += 1;
                 Ok((index, stats, true))
             }
             Some(old) => {
@@ -232,6 +363,7 @@ impl EpochIngestor {
                 )?;
                 self.pending.clear();
                 self.index = Some(next.clone());
+                self.generation += 1;
                 Ok((next, stats, false))
             }
         }
@@ -246,6 +378,7 @@ impl EpochIngestor {
         let batch_started = self.batch_started.take();
         let t0 = Instant::now();
         let (index, stats, _full) = self.refresh()?;
+        simrankpp_util::fail_point!("ingest-publish", |msg: String| msg);
         state.publish(index);
         let refresh_us = t0.elapsed().as_micros() as u64;
         if let Some(m) = state.ingest_metrics() {
@@ -276,25 +409,59 @@ impl std::fmt::Debug for EpochIngestor {
     }
 }
 
+/// One parsed click-log record together with its `[start, end)` byte span
+/// in the log file — the unit of crash-recovery bookkeeping: a checkpoint
+/// records span offsets so a restart can seek straight to the first record
+/// of the oldest surviving window bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedRecord {
+    /// Byte offset of the record's first byte.
+    pub start: u64,
+    /// Byte offset one past the record's terminating newline.
+    pub end: u64,
+    /// The parsed record.
+    pub rec: ClickLogRecord,
+}
+
 /// Incremental reader of a growing click log. Each [`LogTailer::drain`]
 /// call parses every *complete* line appended since the last call; a
 /// partial trailing line (the writer mid-append) is left in the file for
-/// the next drain, so records are never split.
+/// the next drain, so records are never split, truncated, or re-applied.
+///
+/// The tailer tracks its own **absolute** byte offset (`offset` = the first
+/// byte it has not consumed) and rewinds to it with `SeekFrom::Start`
+/// whenever it reads an unterminated fragment. The offset only advances
+/// over complete, newline-terminated lines, so a producer crash mid-append
+/// can never shift the read position into the middle of a record.
 #[derive(Debug)]
 pub struct LogTailer {
     reader: BufReader<File>,
     path: PathBuf,
     line_no: usize,
+    /// Absolute offset of the first unconsumed byte.
+    offset: u64,
 }
 
 impl LogTailer {
     /// Opens `path` for tailing from the beginning.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<LogTailer> {
-        let file = File::open(path.as_ref())?;
+        Self::open_at(path, 0)
+    }
+
+    /// Opens `path` for tailing from absolute byte `offset` — the resume
+    /// path, where a checkpoint supplies the replay offset. The offset must
+    /// fall on a record boundary (checkpoints only ever store record
+    /// boundaries); line numbers in parse errors count from the seek point.
+    pub fn open_at<P: AsRef<Path>>(path: P, offset: u64) -> io::Result<LogTailer> {
+        let mut file = File::open(path.as_ref())?;
+        if offset > 0 {
+            file.seek(SeekFrom::Start(offset))?;
+        }
         Ok(LogTailer {
             reader: BufReader::new(file),
             path: path.as_ref().to_path_buf(),
             line_no: 0,
+            offset,
         })
     }
 
@@ -303,9 +470,15 @@ impl LogTailer {
         &self.path
     }
 
-    /// Lines consumed so far (complete lines only).
+    /// Lines consumed so far (complete lines only, since open).
     pub fn lines_read(&self) -> usize {
         self.line_no
+    }
+
+    /// Absolute byte offset of the first unconsumed byte: the end of the
+    /// last complete line drained (partial fragments don't count).
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 
     /// Reads every complete record currently available. Returns an empty
@@ -313,6 +486,11 @@ impl LogTailer {
     /// number. The unterminated tail, if any, is pushed back for the next
     /// call.
     pub fn drain(&mut self) -> io::Result<Vec<ClickLogRecord>> {
+        Ok(self.drain_spanned()?.into_iter().map(|s| s.rec).collect())
+    }
+
+    /// [`Self::drain`], keeping each record's byte span for checkpointing.
+    pub fn drain_spanned(&mut self) -> io::Result<Vec<SpannedRecord>> {
         let mut records = Vec::new();
         let mut buf = String::new();
         loop {
@@ -322,14 +500,21 @@ impl LogTailer {
                 return Ok(records);
             }
             if !buf.ends_with('\n') {
-                // The writer is mid-append: rewind past the fragment and
-                // let the next drain see the completed line.
-                self.reader.seek(SeekFrom::Current(-(n as i64)))?;
+                // The producer is mid-append: rewind to the last known
+                // record boundary and let the next drain re-read the
+                // completed line from its first byte.
+                self.reader.seek(SeekFrom::Start(self.offset))?;
                 return Ok(records);
             }
+            let start = self.offset;
+            self.offset += n as u64;
             self.line_no += 1;
             if let Some(rec) = parse_click_log_line(&buf, self.line_no)? {
-                records.push(rec);
+                records.push(SpannedRecord {
+                    start,
+                    end: self.offset,
+                    rec,
+                });
             }
         }
     }
@@ -422,6 +607,7 @@ mod tests {
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("click.log");
+        // allow(file-create): test producer simulating the external log appender
         let mut f = File::create(&path).unwrap();
         write_click_log(&[ev(0, "q1", "a1")], &mut f).unwrap();
         f.flush().unwrap();
@@ -443,6 +629,104 @@ mod tests {
         assert_eq!(records[1], ClickLogRecord::EpochMark { epoch: 2 });
         assert_eq!(tailer.lines_read(), 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_reread_intact_never_truncated_or_doubled() {
+        // Regression for the crash-mid-append case: the producer dies (or
+        // is mid-write) after flushing only part of a line. The tailer
+        // must (a) not consume the fragment, (b) re-read the completed
+        // line from its first byte once the rest arrives, and (c) never
+        // deliver any record twice — verified via byte spans, which a
+        // checkpoint would persist.
+        let dir = std::env::temp_dir().join(format!(
+            "simrankpp_torn_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("click.log");
+        // allow(file-create): test producer simulating the external log appender
+        let mut f = File::create(&path).unwrap();
+        write_click_log(&[ev(0, "q1", "a1")], &mut f).unwrap();
+        // Producer crashes mid-append: a torn fragment with no newline.
+        write!(f, "+\t1\tq2\ta2\t10\t4").unwrap();
+        f.flush().unwrap();
+
+        let mut tailer = LogTailer::open(&path).unwrap();
+        let first = tailer.drain_spanned().unwrap();
+        assert_eq!(first.len(), 1, "only the complete line is delivered");
+        let boundary = first[0].end;
+        assert_eq!(
+            tailer.offset(),
+            boundary,
+            "fragment must not advance the offset"
+        );
+
+        // Polling again while the tail is still torn: no records, no
+        // offset movement (this is where a relative seek could drift).
+        for _ in 0..3 {
+            assert!(tailer.drain_spanned().unwrap().is_empty());
+            assert_eq!(tailer.offset(), boundary);
+        }
+
+        // The producer restarts and completes the line.
+        writeln!(f, "\t0.4").unwrap();
+        f.flush().unwrap();
+        let rest = tailer.drain_spanned().unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].rec, ev(1, "q2", "a2"), "fragment re-read intact");
+        assert_eq!(rest[0].start, boundary, "no bytes skipped (no truncation)");
+
+        // Spans tile the file exactly once: no gaps, no overlaps — which
+        // is precisely "never truncates or double-applies".
+        let mut all = first;
+        all.extend(rest);
+        let mut expect = 0;
+        for s in &all {
+            assert_eq!(s.start, expect, "span gap/overlap at byte {expect}");
+            expect = s.end;
+        }
+        assert_eq!(expect, std::fs::metadata(&path).unwrap().len());
+
+        // A tailer resumed at the checkpointed boundary sees exactly the
+        // completed record, once.
+        let mut resumed = LogTailer::open_at(&path, boundary).unwrap();
+        let replay = resumed.drain_spanned().unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].rec, ev(1, "q2", "a2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_record_at_tracks_replay_starts() {
+        let mut ing = EpochIngestor::new(cfg()); // window 3
+                                                 // Records with synthetic spans 10 bytes apart.
+        let recs = [
+            (ev(0, "q0", "a0"), (0, 10)),
+            (ClickLogRecord::EpochMark { epoch: 1 }, (10, 20)),
+            (ev(1, "q1", "a1"), (20, 30)),
+            (ClickLogRecord::EpochMark { epoch: 2 }, (30, 40)),
+            // A stamped-ahead event advances implicitly: its own start is
+            // the replay point for epoch 3 (the event belongs to bucket 3).
+            (ev(3, "q3", "a3"), (40, 50)),
+            (ClickLogRecord::EpochMark { epoch: 4 }, (50, 60)),
+        ];
+        for (rec, span) in &recs {
+            ing.apply_record_at(rec, *span);
+        }
+        assert_eq!(ing.epoch(), 4);
+        assert_eq!(ing.applied_offset(), 60);
+        // Window 3 at epoch 4: oldest surviving bucket is 2, whose
+        // advancing record (the mark) starts at byte 30.
+        assert_eq!(ing.replay_start(), (2, 30));
+        // Advance further: epoch 5's oldest is 3 — the stamped-ahead
+        // event's own start offset.
+        ing.apply_record_at(&ClickLogRecord::EpochMark { epoch: 5 }, (60, 70));
+        assert_eq!(ing.replay_start(), (3, 40));
     }
 
     #[test]

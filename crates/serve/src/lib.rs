@@ -37,6 +37,7 @@
 //!   dirty-component refresh and hot-swap at every epoch boundary and
 //!   click-to-serve freshness counters ([`IngestMetrics`]).
 
+pub mod checkpoint;
 pub mod index;
 pub mod ingest;
 pub mod mapped;
@@ -47,8 +48,9 @@ pub mod server;
 pub mod snapshot;
 pub mod swap;
 
+pub use checkpoint::{read_checkpoint, resume_ingestor, write_checkpoint, Checkpoint};
 pub use index::{IndexMeta, RebuildStats, RewriteIndex, RewriteSet};
-pub use ingest::{EpochIngestor, IngestConfig, IngestMetrics, LogTailer};
+pub use ingest::{EpochIngestor, IngestConfig, IngestMetrics, LogTailer, SpannedRecord};
 pub use mapped::{MappedIndex, ServingIndex};
 pub use mmap::Backing;
 pub use net::{NetConfig, NetServer, ServerMetrics, ShutdownSignal};

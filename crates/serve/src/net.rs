@@ -376,6 +376,14 @@ impl Connection {
         let _guard = ActiveGuard {
             metrics: Arc::clone(&self.metrics),
         };
+        // A `return` action here models the handler dying before its
+        // session loop starts: this connection closes (counted as a
+        // disconnect), every other connection and the listener live on.
+        #[cfg(feature = "failpoints")]
+        if let Some(_msg) = simrankpp_util::failpoint::eval("net-handler") {
+            self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         // Every response line is already batched through the session's
         // BufWriter and flushed per request; Nagle would only add latency.
         let _ = stream.set_nodelay(true);

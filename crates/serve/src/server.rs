@@ -593,6 +593,49 @@ fn err_line<W: Write>(
 /// with `set_read_timeout`) is a *clean* exit: the peer stalled, gets a
 /// best-effort `err\tread timeout` line, and the session returns `Ok` — the
 /// connection thread is freed instead of pinned forever.
+/// Renders the `health` response: liveness state plus, in ingest mode, the
+/// window epoch, refresh count, and the age of the last durable checkpoint
+/// — the fields an external supervisor needs to tell a wedged process from
+/// a slow epoch. Permitted on every transport (a supervisor probes the
+/// data port), and answered even while draining.
+///
+/// `health\tstate=ready|ingesting|draining[\tingest_epoch=N]`
+/// `[\tingest_refreshes=N][\tlast_checkpoint_age_ms=N|none]`
+fn health_line(state: &ServeState, draining: bool) -> String {
+    let mut line = String::from("health\tstate=");
+    line.push_str(if draining {
+        "draining"
+    } else if state.ingest_metrics().is_some() {
+        "ingesting"
+    } else {
+        "ready"
+    });
+    if let Some(ing) = state.ingest_metrics() {
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            "\tingest_epoch={}\tingest_refreshes={}",
+            ing.epoch.load(Ordering::Relaxed),
+            ing.refreshes.load(Ordering::Relaxed)
+        );
+        let committed = ing.last_checkpoint_unix_ms.load(Ordering::Relaxed);
+        if committed == 0 {
+            line.push_str("\tlast_checkpoint_age_ms=none");
+        } else {
+            let now_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(committed);
+            let _ = write!(
+                line,
+                "\tlast_checkpoint_age_ms={}",
+                now_ms.saturating_sub(committed)
+            );
+        }
+    }
+    line
+}
+
 pub fn serve_session_with<R: BufRead, W: Write>(
     state: &ServeState,
     input: R,
@@ -633,9 +676,15 @@ pub fn serve_session_with<R: BufRead, W: Write>(
         }
         // A draining server finishes nothing new: the current request is
         // answered with the farewell and the session closes, letting the
-        // accept loop's join complete.
+        // accept loop's join complete. The one exception is `health` — a
+        // supervisor probing a draining server must get the structured
+        // state, not a bare farewell it can't tell from a shutdown verb's.
         if opts.shutdown.as_ref().is_some_and(|s| s.is_draining()) {
-            writeln!(out, "bye\tdraining")?;
+            if line == "health" || line.starts_with("health ") {
+                writeln!(out, "{}", health_line(state, true))?;
+            } else {
+                writeln!(out, "bye\tdraining")?;
+            }
             out.flush()?;
             break;
         }
@@ -771,6 +820,9 @@ pub fn serve_session_with<R: BufRead, W: Write>(
                     format_args!("no network listener on this session"),
                 )?,
             },
+            "health" => {
+                writeln!(out, "{}", health_line(state, false))?;
+            }
             "quit" => {
                 writeln!(out, "bye")?;
                 out.flush()?;

@@ -144,9 +144,13 @@ impl RewriteIndex {
         decode_snapshot(buf.as_slice())
     }
 
-    /// Writes the binary snapshot to `path`.
+    /// Writes the binary snapshot to `path` atomically and durably
+    /// (sibling temp + fsync + rename + directory fsync): a crash mid-save
+    /// leaves either the previous snapshot or the new one at `path`, never
+    /// a torn file that later fails checksum with a confusing error.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        self.write_snapshot(File::create(path)?)
+        simrankpp_util::fail_point!("snapshot-save");
+        simrankpp_util::durable::atomic_write(path.as_ref(), |w| self.write_snapshot(w))
     }
 
     /// Loads a binary snapshot from `path`.

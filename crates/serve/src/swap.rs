@@ -70,6 +70,16 @@ impl<T> AtomicHandle<T> {
 
     /// As [`AtomicHandle::swap`] with an already-shared next generation.
     pub fn swap_arc(&self, next: Arc<T>) -> Arc<T> {
+        // The publish instant: a crash on either side of the replacement
+        // must leave a servable state, which the chaos suite proves by
+        // aborting here. The site sits *before* the lock so an abort never
+        // takes the slot down mid-poison; `return` has no error channel in
+        // a swap, so it escalates to a panic rather than silently skipping
+        // the publish.
+        #[cfg(feature = "failpoints")]
+        if let Some(msg) = simrankpp_util::failpoint::eval("handle-swap") {
+            panic!("{msg} (no error channel in swap; escalated to panic)");
+        }
         std::mem::replace(&mut *self.lock(), next)
     }
 }

@@ -8,8 +8,8 @@ use simrankpp_core::{Method, MethodKind, Rewriter, RewriterConfig, SimrankConfig
 use simrankpp_graph::fixtures::figure3_graph;
 use simrankpp_graph::WeightKind;
 use simrankpp_serve::{
-    serve_session, NetConfig, NetServer, RewriteIndex, ServeState, ServerMetrics, ShutdownSignal,
-    UpdateContext,
+    serve_session, IngestMetrics, NetConfig, NetServer, RewriteIndex, ServeState, ServerMetrics,
+    ShutdownSignal, UpdateContext,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -342,4 +342,83 @@ fn read_timeout_frees_a_stalled_connection() {
     assert_eq!(out, "err\tread timeout\tclosing stalled connection\n");
     assert_eq!(ts.metrics.timeouts.load(Ordering::Relaxed), 1);
     ts.stop();
+}
+
+#[test]
+fn health_is_answered_on_every_plane_and_reports_ready() {
+    let ts = TestServer::start(fig3_state(), NetConfig::default());
+    // Unlike the rest of the admin surface, `health` must be reachable
+    // wherever a supervisor can connect — including the data plane.
+    let out = roundtrip(ts.addr, "health\n");
+    assert_eq!(out, "health\tstate=ready\n");
+    let out = roundtrip(ts.admin, "health\n");
+    assert_eq!(out, "health\tstate=ready\n");
+    ts.stop();
+}
+
+#[test]
+fn health_reports_ingest_state_and_checkpoint_age() {
+    let g = figure3_graph();
+    let cfg = SimrankConfig::default().with_weight_kind(WeightKind::Clicks);
+    let method = Method::compute(MethodKind::WeightedSimrank, &g, &cfg);
+    let rewriter = Rewriter::new(&g, method, RewriterConfig::default());
+    let index = RewriteIndex::build(&rewriter, None, 1);
+    let metrics = Arc::new(IngestMetrics::default());
+    metrics.epoch.store(7, Ordering::Relaxed);
+    metrics.refreshes.store(3, Ordering::Relaxed);
+    let ts = TestServer::start(
+        ServeState::ingesting(index, Arc::clone(&metrics)),
+        NetConfig::default(),
+    );
+
+    // No checkpoint committed yet: the supervisor must be able to tell
+    // "checkpointing disabled/never happened" from "checkpoint is stale".
+    let out = roundtrip(ts.addr, "health\n");
+    assert_eq!(
+        out,
+        "health\tstate=ingesting\tingest_epoch=7\tingest_refreshes=3\tlast_checkpoint_age_ms=none\n"
+    );
+
+    metrics.mark_checkpoint();
+    let out = roundtrip(ts.addr, "health\n");
+    let age = out
+        .trim_end()
+        .rsplit_once("last_checkpoint_age_ms=")
+        .expect("age field present")
+        .1
+        .parse::<u64>()
+        .expect("age is numeric after a commit");
+    assert!(
+        age < 60_000,
+        "checkpoint age {age} ms is absurd for a fresh mark"
+    );
+    ts.stop();
+}
+
+#[test]
+fn health_is_answered_while_draining() {
+    let ts = TestServer::start(fig3_state(), NetConfig::default());
+
+    // An in-flight session…
+    let stream = TcpStream::connect(ts.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(b"rewrite camera\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok\tcamera\t"), "{line}");
+
+    // …outlives the shutdown order, and its health probe still gets the
+    // structured draining state (then a clean close), not a bare farewell
+    // indistinguishable from the shutdown verb's own reply.
+    let out = roundtrip(ts.admin, "shutdown\n");
+    assert_eq!(out, "bye\tdraining\n");
+    writer.write_all(b"health\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "health\tstate=draining\n");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "clean EOF");
+    drop(writer);
+    ts.join.join().unwrap().unwrap();
 }

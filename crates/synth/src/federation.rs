@@ -20,7 +20,6 @@
 //! store, and the scale benches address rows by id. A store for serving
 //! by name should come from `serve segment` on a named TSV instead.
 
-use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
@@ -120,12 +119,12 @@ pub fn write_store(
     target_queries: u64,
     path: &Path,
 ) -> io::Result<FederationStats> {
-    let file = File::create(path)?;
+    // A multi-gigabyte store is exactly the artifact a torn write hurts
+    // most: stream into the temp sibling, then fsync + rename + dir-fsync.
+    let (atomic, file) = simrankpp_util::AtomicFile::create(path)?;
     let (writer, stats) = write_federation(world, target_queries, BufWriter::new(file))?;
-    writer
-        .into_inner()
-        .map_err(|e| e.into_error())?
-        .sync_all()?;
+    let file = writer.into_inner().map_err(|e| e.into_error())?;
+    atomic.commit(file)?;
     Ok(stats)
 }
 

@@ -1,0 +1,252 @@
+//! Atomic, durable file writes — the one discipline every artifact writer
+//! in the workspace goes through.
+//!
+//! A crash mid-`File::create(final_path)` leaves a torn file *at the final
+//! path*: the next reader finds a header with a bad checksum and fails with
+//! a confusing error, or worse, silently parses a prefix. The fix is the
+//! classic four-step dance, packaged once here so no writer re-implements
+//! it subtly wrong:
+//!
+//! 1. write the full payload to a sibling temp file (`.name.tmp`),
+//! 2. `fsync` the temp file (contents durable),
+//! 3. `rename` it over the final path (atomic on POSIX),
+//! 4. `fsync` the parent directory (the rename itself durable).
+//!
+//! A crash before step 3 leaves only a stale temp (overwritten by the next
+//! attempt); a crash after step 3 leaves the complete new file. At no point
+//! does a partially-written file exist at the final path.
+//!
+//! [`atomic_write`] is the closure-based entry point for writers that can
+//! borrow a sink; [`AtomicFile`] is the two-phase version for streaming
+//! writers (e.g. `SegmentWriter`) that need to *own* their sink. Readers
+//! that discover a torn/corrupt artifact at open time use [`quarantine`] to
+//! move it aside as `<path>.corrupt` so a supervisor restart rebuilds from
+//! source instead of crash-looping on the same bad bytes.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::fail_point;
+
+/// The sibling temp path used by every atomic write of `path`:
+/// `dir/.<file_name>.tmp`. Deterministic, so a stale temp left by a crash
+/// is simply overwritten by the next attempt.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+/// Fsyncs the directory containing `path`, making a completed rename of
+/// `path` durable. An empty parent means the current directory.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// A file being written under the atomic-durable discipline.
+///
+/// [`AtomicFile::create`] opens the sibling temp file; the caller streams
+/// the payload into the returned [`File`] (usually via its own buffered
+/// writer) and then calls [`AtomicFile::commit`] with it to fsync, rename,
+/// and fsync-dir. Dropping an uncommitted `AtomicFile` removes the temp,
+/// so early returns on error leave nothing behind.
+#[derive(Debug)]
+pub struct AtomicFile {
+    tmp: PathBuf,
+    path: PathBuf,
+    committed: bool,
+}
+
+impl AtomicFile {
+    /// Opens the temp sibling of `path` for writing.
+    pub fn create(path: &Path) -> io::Result<(AtomicFile, File)> {
+        let tmp = temp_path(path);
+        fail_point!("durable-create");
+        // allow(file-create): this is the temp sibling; the final path only
+        // ever appears via the rename in commit().
+        let file = File::create(&tmp)?;
+        Ok((
+            AtomicFile {
+                tmp,
+                path: path.to_path_buf(),
+                committed: false,
+            },
+            file,
+        ))
+    }
+
+    /// Fsyncs `file` (which must be the handle returned by
+    /// [`AtomicFile::create`], fully written and flushed), renames the temp
+    /// over the final path, and fsyncs the parent directory.
+    pub fn commit(mut self, file: File) -> io::Result<()> {
+        fail_point!("durable-fsync");
+        file.sync_all()?;
+        drop(file);
+        fail_point!("durable-rename");
+        fs::rename(&self.tmp, &self.path)?;
+        self.committed = true;
+        fail_point!("durable-dir-sync");
+        sync_parent_dir(&self.path)
+    }
+
+    /// The temp path being written (for diagnostics).
+    pub fn temp(&self) -> &Path {
+        &self.tmp
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Writes `path` atomically and durably: `write` receives a buffered writer
+/// over the temp sibling; on `Ok` the temp is flushed, fsynced, renamed over
+/// `path`, and the directory fsynced. On any error the temp is removed and
+/// `path` is untouched.
+pub fn atomic_write<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    let (atomic, file) = AtomicFile::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write(&mut writer)?;
+    writer.flush()?;
+    let file = writer
+        .into_inner()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    atomic.commit(file)
+}
+
+/// [`atomic_write`] for callers that already hold the full payload.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write(path, |w| w.write_all(bytes))
+}
+
+/// Moves a corrupt artifact aside as `<path>.corrupt` (or `.corrupt.N` if
+/// that exists) and returns the quarantine path. The caller still reports
+/// the structured error; quarantining just guarantees the next start does
+/// not crash-loop on the same bytes.
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let base = format!("{}.corrupt", path.display());
+    let mut candidate = PathBuf::from(&base);
+    let mut n = 0u32;
+    while candidate.exists() {
+        n += 1;
+        if n > 1000 {
+            return Err(io::Error::other(format!(
+                "no free quarantine name for {}",
+                path.display()
+            )));
+        }
+        candidate = PathBuf::from(format!("{base}.{n}"));
+    }
+    fs::rename(path, &candidate)?;
+    // Make the rename durable too: a quarantine that un-happens after a
+    // crash would resurrect the corrupt artifact.
+    sync_parent_dir(path)?;
+    Ok(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("srpp-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("artifact.bin");
+        atomic_write_bytes(&path, b"hello durable world").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello durable world");
+        // No temp residue.
+        assert!(!temp_path(&path).exists());
+        // Overwrite goes through the same path.
+        atomic_write_bytes(&path, b"second generation").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second generation");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_final_path_untouched() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("artifact.bin");
+        atomic_write_bytes(&path, b"good generation").unwrap();
+        let err = atomic_write(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("simulated crash"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "simulated crash");
+        assert_eq!(fs::read(&path).unwrap(), b"good generation");
+        assert!(!temp_path(&path).exists(), "temp must be cleaned up");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_temp_is_overwritten() {
+        let dir = tmp_dir("stale");
+        let path = dir.join("artifact.bin");
+        fs::write(temp_path(&path), b"torn temp from a crash").unwrap();
+        atomic_write_bytes(&path, b"fresh").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"fresh");
+        assert!(!temp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_renames_and_numbers() {
+        let dir = tmp_dir("quarantine");
+        let path = dir.join("artifact.bin");
+        fs::write(&path, b"corrupt").unwrap();
+        let q1 = quarantine(&path).unwrap();
+        assert!(q1.to_string_lossy().ends_with("artifact.bin.corrupt"));
+        assert!(!path.exists());
+        fs::write(&path, b"corrupt again").unwrap();
+        let q2 = quarantine(&path).unwrap();
+        assert!(q2.to_string_lossy().ends_with("artifact.bin.corrupt.1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_path_is_a_hidden_sibling() {
+        assert_eq!(
+            temp_path(Path::new("/a/b/index.bin")),
+            Path::new("/a/b/.index.bin.tmp")
+        );
+        assert_eq!(temp_path(Path::new("rel.bin")), Path::new(".rel.bin.tmp"));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn durable_failpoints_fire() {
+        use crate::failpoint::{self, Action};
+        let dir = tmp_dir("failpoint");
+        let path = dir.join("artifact.bin");
+        failpoint::set("durable-rename", Action::ReturnError, 1);
+        let err = atomic_write_bytes(&path, b"doomed").unwrap_err();
+        assert!(err.to_string().contains("durable-rename"));
+        assert!(!path.exists(), "rename failpoint must abort before rename");
+        assert!(!temp_path(&path).exists(), "temp cleaned up on error");
+        failpoint::clear("durable-rename");
+        atomic_write_bytes(&path, b"recovered").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"recovered");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
